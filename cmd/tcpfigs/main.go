@@ -1,0 +1,117 @@
+// Command tcpfigs regenerates the paper's tables and figures.
+//
+//	tcpfigs -exp all                # everything (minutes at full scale)
+//	tcpfigs -exp fig11              # the TCP vs DBCP comparison
+//	tcpfigs -exp fig13a -n 200000   # PHT size sweep, quick scale
+//
+// Experiment ids: table1, fig1, fig2 ... fig7, fig11, fig12, fig13a,
+// fig13b, fig14, fig15, coverage, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tagprefetch/internal/experiment"
+	"tagprefetch/internal/profiler"
+	"tagprefetch/internal/stats"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (table1, fig1..fig7, fig11..fig15, ablations, all)")
+		n     = flag.Uint64("n", 1_000_000, "measured instructions per run")
+		warm  = flag.Uint64("warmup", 2_000_000, "warmup instructions per run")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		bench = flag.String("benches", "", "comma-separated benchmark subset (default all 26)")
+		asCSV = flag.Bool("csv", false, "emit table experiments as CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	o := experiment.Options{Instructions: *n, Warmup: *warm, Seed: *seed}
+	if *bench != "" {
+		o.Benches = strings.Split(*bench, ",")
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+			"fig7", "fig11", "fig12", "fig13a", "fig13b", "fig14", "fig15", "coverage", "ablations"}
+	}
+
+	emit := func(t *stats.Table) {
+		if *asCSV {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "tcpfigs:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		t.WriteTo(os.Stdout) //nolint:errcheck
+	}
+
+	var prof map[string]profiler.Summary
+	needProfile := func() map[string]profiler.Summary {
+		if prof == nil {
+			fmt.Fprintln(os.Stderr, "tcpfigs: profiling miss streams (shared across fig2-7, fig15)...")
+			prof = experiment.ProfileAll(o)
+		}
+		return prof
+	}
+
+	for _, id := range ids {
+		switch id {
+		case "table1":
+			emit(experiment.Table1())
+		case "fig1":
+			emit(experiment.Fig01IdealL2(o))
+		case "fig2":
+			emit(experiment.Fig02TagStats(o, needProfile()))
+		case "fig3":
+			emit(experiment.Fig03AddrStats(o, needProfile()))
+		case "fig4":
+			emit(experiment.Fig04TagSpread(o, needProfile()))
+		case "fig5":
+			emit(experiment.Fig05SeqRatio(o, needProfile()))
+		case "fig6":
+			emit(experiment.Fig06SeqStats(o, needProfile()))
+		case "fig7":
+			emit(experiment.Fig07SeqSpread(o, needProfile()))
+		case "fig11":
+			emit(experiment.Fig11IPC(o))
+		case "fig12":
+			emit(experiment.Fig12Traffic(o))
+		case "fig13a":
+			fmt.Println("== Figure 13 (top): mean IPC vs PHT size ==")
+			for _, s := range experiment.Fig13PHTSize(o) {
+				fmt.Println(s.String())
+			}
+		case "fig13b":
+			fmt.Println("== Figure 13 (bottom): mean IPC vs miss-index bits ==")
+			fmt.Println(experiment.Fig13IndexBits(o).String())
+		case "fig14":
+			emit(experiment.Fig14Hybrid(o))
+		case "fig15":
+			emit(experiment.Fig15Strided(o, needProfile()))
+		case "coverage":
+			emit(experiment.CoverageComparison(o))
+		case "ablations":
+			fmt.Println("== Ablations (DESIGN.md A1-A5) ==")
+			fmt.Println(experiment.AblationTHTDepth(o).String())
+			fmt.Println(experiment.AblationPHTAssoc(o).String())
+			fmt.Println(experiment.AblationHashing(o).String())
+			fmt.Println(experiment.AblationMultiTarget(o).String())
+			emit(experiment.AblationClassicBaselines(o))
+			emit(experiment.AblationCriticalFilter(o))
+			emit(experiment.AblationStrideAssist(o))
+			emit(experiment.AblationPlacement(o))
+			fmt.Println(experiment.AblationBranchPredictors(o).String())
+		default:
+			fmt.Fprintf(os.Stderr, "tcpfigs: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,127 @@
+// Command tcpsim runs one benchmark model (or all of them) on the simulated
+// machine of Table 1 with a chosen prefetcher and prints IPC and memory
+// statistics.
+//
+// Examples:
+//
+//	tcpsim -bench mcf -pf tcp8k
+//	tcpsim -bench all -pf none -ideal     # Figure 1's ideal-L2 runs
+//	tcpsim -bench swim -pf tcp -pht 32768 -nbits 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tagprefetch/internal/memsys"
+	"tagprefetch/internal/sim"
+	"tagprefetch/internal/stats"
+	"tagprefetch/internal/workload"
+)
+
+func factory(name string, phtBytes, nbits int) (sim.Factory, error) {
+	switch strings.ToLower(name) {
+	case "none":
+		return sim.NoPrefetch(), nil
+	case "tcp8k":
+		return sim.TCP8K(), nil
+	case "tcp8m":
+		return sim.TCP8M(), nil
+	case "hybrid8k":
+		return sim.Hybrid8K(), nil
+	case "dbcp", "dbcp2m":
+		return sim.DBCP2M(), nil
+	case "stride":
+		return sim.Stride(), nil
+	case "stream":
+		return sim.StreamBuffers(), nil
+	case "markov":
+		return sim.Markov(), nil
+	case "nextline":
+		return sim.NextLine(), nil
+	case "ghb":
+		return sim.GHB(), nil
+	case "tcp":
+		return sim.TCPWithPHT(phtBytes, nbits, false), nil
+	default:
+		return sim.Factory{}, fmt.Errorf("unknown prefetcher %q", name)
+	}
+}
+
+func main() {
+	var (
+		bench  = flag.String("bench", "all", "SPEC2000 benchmark name, or 'all'")
+		pfName = flag.String("pf", "none", "prefetcher: none|tcp8k|tcp8m|hybrid8k|dbcp2m|stride|stream|markov|ghb|nextline|tcp")
+		pht    = flag.Int("pht", 8192, "PHT bytes for -pf tcp")
+		nbits  = flag.Int("nbits", 0, "miss-index bits in the PHT index for -pf tcp")
+		n      = flag.Uint64("n", 1_000_000, "measured instructions")
+		warm   = flag.Uint64("warmup", 0, "warmup instructions (default n/2)")
+		ideal  = flag.Bool("ideal", false, "ideal L2 (every L2 access hits)")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		list   = flag.Bool("list", false, "list benchmark models and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.Names() {
+			spec, _ := workload.Spec2000(b)
+			fmt.Printf("%-10s body=%-4d mem=%.2f streams=%d\n",
+				b, spec.BodyLen, spec.MemFrac, len(spec.Streams))
+		}
+		return
+	}
+
+	f, err := factory(*pfName, *pht, *nbits)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcpsim:", err)
+		os.Exit(2)
+	}
+	cfg := sim.Config{
+		Instructions: *n,
+		Warmup:       *warm,
+		Seed:         *seed,
+		Mem:          memsys.Config{IdealL2: *ideal},
+	}
+
+	benches := workload.Names()
+	if *bench != "all" {
+		if _, err := workload.Spec2000(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsim:", err)
+			os.Exit(2)
+		}
+		benches = []string{*bench}
+	}
+
+	tab := stats.NewTable(
+		fmt.Sprintf("tcpsim: pf=%s n=%d ideal=%v", f.Name, *n, *ideal),
+		"bench", "IPC", "L1 miss%", "L2 miss%", "pf issued", "pf useful%", "mispred%")
+	for _, b := range benches {
+		r := sim.MustRun(b, f, cfg)
+		useful := 0.0
+		if tot := r.Mem.PrefetchedOriginal + r.Mem.PrefetchedExtra; tot > 0 {
+			useful = float64(r.Mem.PrefetchedOriginal) / float64(tot) * 100
+		}
+		mis := 0.0
+		if r.CPU.Branches > 0 {
+			mis = float64(r.CPU.BranchMispredicts) / float64(r.CPU.Branches) * 100
+		}
+		tab.AddRow(b,
+			fmt.Sprintf("%.3f", r.IPC()),
+			fmt.Sprintf("%.1f", float64(r.Mem.L1Misses)/float64(max64(r.Mem.Accesses, 1))*100),
+			fmt.Sprintf("%.1f", float64(r.Mem.L2Misses)/float64(max64(r.Mem.L2Demand, 1))*100),
+			fmt.Sprintf("%d", r.Mem.PrefetchIssued),
+			fmt.Sprintf("%.1f", useful),
+			fmt.Sprintf("%.1f", mis),
+		)
+	}
+	tab.WriteTo(os.Stdout) //nolint:errcheck
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+// Command tcpsweep explores the TCP design space: the Figure 13 PHT-size
+// and index-bits sweeps, and the DESIGN.md ablations (THT depth, PHT
+// associativity, hash function, multi-target entries).
+//
+//	tcpsweep -sweep size               # Figure 13 (top)
+//	tcpsweep -sweep nbits              # Figure 13 (bottom)
+//	tcpsweep -sweep k -benches swim    # THT depth on one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tagprefetch/internal/experiment"
+)
+
+func main() {
+	var (
+		sweep = flag.String("sweep", "size", "sweep: size | nbits | k | assoc | hash | targets | baselines | critfilter | strideassist | placement | branchpred")
+		n     = flag.Uint64("n", 1_000_000, "measured instructions per run")
+		warm  = flag.Uint64("warmup", 2_000_000, "warmup instructions per run")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		bench = flag.String("benches", "", "comma-separated benchmark subset (default all 26)")
+	)
+	flag.Parse()
+
+	o := experiment.Options{Instructions: *n, Warmup: *warm, Seed: *seed}
+	if *bench != "" {
+		o.Benches = strings.Split(*bench, ",")
+	}
+
+	switch *sweep {
+	case "size":
+		for _, s := range experiment.Fig13PHTSize(o) {
+			fmt.Println(s.String())
+		}
+	case "nbits":
+		fmt.Println(experiment.Fig13IndexBits(o).String())
+	case "k":
+		fmt.Println(experiment.AblationTHTDepth(o).String())
+	case "assoc":
+		fmt.Println(experiment.AblationPHTAssoc(o).String())
+	case "hash":
+		fmt.Println(experiment.AblationHashing(o).String())
+	case "targets":
+		fmt.Println(experiment.AblationMultiTarget(o).String())
+	case "baselines":
+		experiment.AblationClassicBaselines(o).WriteTo(os.Stdout) //nolint:errcheck
+	case "critfilter":
+		experiment.AblationCriticalFilter(o).WriteTo(os.Stdout) //nolint:errcheck
+	case "strideassist":
+		experiment.AblationStrideAssist(o).WriteTo(os.Stdout) //nolint:errcheck
+	case "placement":
+		experiment.AblationPlacement(o).WriteTo(os.Stdout) //nolint:errcheck
+	case "branchpred":
+		fmt.Println(experiment.AblationBranchPredictors(o).String())
+	default:
+		fmt.Fprintf(os.Stderr, "tcpsweep: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+}

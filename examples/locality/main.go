@@ -1,0 +1,40 @@
+// Locality: reproduce the Section 3 characterisation for a handful of
+// contrasting benchmarks — the measurements that motivate tag-correlating
+// prefetching. Sweep-dominated swim shows few tags spread across many sets
+// with shared sequences; chase-dominated mcf shows private per-set
+// sequences; random-dominated twolf shows near-random sequences.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tagprefetch"
+)
+
+func main() {
+	cfg := tagprefetch.RunConfig{Instructions: 500_000, Warmup: 1_000_000}
+
+	fmt.Println("Section 3: why tags correlate (and when they don't)")
+	fmt.Println()
+	fmt.Printf("%-8s %10s %8s %12s %10s %10s %9s\n",
+		"bench", "misses", "tags", "tag-recur", "sets/tag", "sets/seq", "strided")
+	for _, bench := range []string{"swim", "art", "mcf", "gcc", "twolf"} {
+		s, err := tagprefetch.Profile(bench, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %10d %8d %12.1f %10.1f %10.1f %8.1f%%\n",
+			bench, s.Misses, s.UniqueTags, s.TagRecurrence,
+			s.SetsPerTag, s.SetsPerSeq, s.StridedFrac*100)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table:")
+	fmt.Println(" - tags are few and recur heavily everywhere (Figure 2);")
+	fmt.Println(" - swim/art sequences appear in many sets -> a shared PHT (TCP-8K)")
+	fmt.Println("   learns once and predicts everywhere (Figure 7);")
+	fmt.Println(" - mcf/gcc sequences are per-set -> private history (TCP-8M) wins;")
+	fmt.Println(" - twolf's sequences barely repeat -> no correlation to exploit;")
+	fmt.Println(" - swim's column walks make it the most strided (Figure 15).")
+}

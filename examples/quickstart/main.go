@@ -1,0 +1,41 @@
+// Quickstart: run one memory-bound benchmark with and without TCP and
+// print the headline comparison of the paper — a tiny 8 KB tag-correlating
+// prefetcher against a 2 MB address-based DBCP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tagprefetch"
+)
+
+func main() {
+	cfg := tagprefetch.RunConfig{Instructions: 500_000, Warmup: 1_000_000}
+	bench := "swim"
+
+	base, err := tagprefetch.Run(bench, tagprefetch.None, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s baseline IPC: %.3f  (L1 misses: %d, L2 misses: %d)\n",
+		bench, base.IPC(), base.Mem.L1Misses, base.Mem.L2Misses)
+
+	for _, p := range []tagprefetch.Prefetcher{
+		tagprefetch.DBCP2M, tagprefetch.TCP8K, tagprefetch.TCP8M,
+	} {
+		r, err := tagprefetch.Run(bench, p, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-9s IPC: %.3f  (%+.1f%%, %d KB of tables, %d prefetches issued)\n",
+			bench, r.Prefetcher, r.IPC(),
+			tagprefetch.Improvement(r, base)*100,
+			r.PrefetcherStorageBits/8/1024,
+			r.Mem.PrefetchIssued)
+	}
+
+	fmt.Println("\nThe paper's claim: the 8 KB tag-based PHT matches or beats the")
+	fmt.Println("2 MB address-based table, because one tag sequence covers the same")
+	fmt.Println("pattern in every cache set it appears in.")
+}

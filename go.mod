@@ -1,0 +1,3 @@
+module tagprefetch
+
+go 1.22

@@ -1,0 +1,161 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryErrors(t *testing.T) {
+	cases := []struct {
+		name              string
+		size, ways, block int
+	}{
+		{"zero size", 0, 1, 32},
+		{"negative size", -32, 1, 32},
+		{"zero ways", 32768, 0, 32},
+		{"zero block", 32768, 1, 0},
+		{"non-pow2 size", 3000, 1, 32},
+		{"non-pow2 ways", 32768, 3, 32},
+		{"non-pow2 block", 32768, 1, 48},
+		{"too small for ways", 64, 4, 32},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewGeometry(c.size, c.ways, c.block); err == nil {
+				t.Fatalf("NewGeometry(%d,%d,%d) succeeded, want error", c.size, c.ways, c.block)
+			}
+		})
+	}
+}
+
+func TestPaperL1Geometry(t *testing.T) {
+	// Table 1: 32KB direct-mapped, 32B blocks -> 1024 sets, 10 index bits.
+	g := MustGeometry(32*1024, 1, 32)
+	if g.Sets() != 1024 {
+		t.Errorf("sets = %d, want 1024", g.Sets())
+	}
+	if g.IndexBits() != 10 {
+		t.Errorf("index bits = %d, want 10", g.IndexBits())
+	}
+	if g.BlockShift() != 5 {
+		t.Errorf("block shift = %d, want 5", g.BlockShift())
+	}
+	if g.SizeBytes() != 32*1024 {
+		t.Errorf("size = %d, want 32768", g.SizeBytes())
+	}
+}
+
+func TestPaperL2Geometry(t *testing.T) {
+	// Table 1: 1MB 4-way, 64B blocks -> 4096 sets.
+	g := MustGeometry(1<<20, 4, 64)
+	if g.Sets() != 4096 {
+		t.Errorf("sets = %d, want 4096", g.Sets())
+	}
+	if g.Ways() != 4 {
+		t.Errorf("ways = %d, want 4", g.Ways())
+	}
+}
+
+func TestIndexTagDecomposition(t *testing.T) {
+	g := MustGeometry(32*1024, 1, 32)
+	a := Addr(0x12345678)
+	// offset = low 5 bits, index = next 10, tag = rest.
+	wantIndex := uint32((0x12345678 >> 5) & 0x3FF)
+	wantTag := uint64(0x12345678 >> 15)
+	if g.Index(a) != wantIndex {
+		t.Errorf("Index = %#x, want %#x", g.Index(a), wantIndex)
+	}
+	if g.Tag(a) != wantTag {
+		t.Errorf("Tag = %#x, want %#x", g.Tag(a), wantTag)
+	}
+	if g.Block(a) != a&^31 {
+		t.Errorf("Block = %#x, want %#x", g.Block(a), a&^31)
+	}
+	if g.BlockID(a) != uint64(a)>>5 {
+		t.Errorf("BlockID = %#x, want %#x", g.BlockID(a), uint64(a)>>5)
+	}
+}
+
+func TestComposeRoundTrip(t *testing.T) {
+	g := MustGeometry(32*1024, 1, 32)
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		back := g.Compose(g.Tag(a), g.Index(a))
+		return back == g.Block(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeRoundTripAllGeometries(t *testing.T) {
+	geoms := []Geometry{
+		MustGeometry(32*1024, 1, 32),
+		MustGeometry(32*1024, 4, 32),
+		MustGeometry(1<<20, 4, 64),
+		MustGeometry(8*1024, 8, 4), // PHT-like
+		MustGeometry(64, 1, 16),    // tiny edge case
+	}
+	for _, g := range geoms {
+		f := func(raw uint64) bool {
+			a := Addr(raw)
+			return g.Compose(g.Tag(a), g.Index(a)) == g.Block(a)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("geometry %d/%d/%d: %v", g.SizeBytes(), g.Ways(), g.BlockBytes(), err)
+		}
+	}
+}
+
+func TestComposeMasksIndex(t *testing.T) {
+	g := MustGeometry(32*1024, 1, 32)
+	// An out-of-range index must be masked, not shifted into the tag.
+	a := g.Compose(7, 1024+5)
+	if g.Index(a) != 5 {
+		t.Errorf("Index = %d, want 5", g.Index(a))
+	}
+	if g.Tag(a) != 7 {
+		t.Errorf("Tag = %d, want 7", g.Tag(a))
+	}
+}
+
+func TestSameTagDifferentSets(t *testing.T) {
+	// Section 3: a tag can appear in many sets; addresses composed from the
+	// same tag and different indices must be distinct blocks with equal tags.
+	g := MustGeometry(32*1024, 1, 32)
+	seen := map[Addr]bool{}
+	for i := uint32(0); i < 1024; i++ {
+		a := g.Compose(42, i)
+		if g.Tag(a) != 42 {
+			t.Fatalf("tag drift at index %d: %d", i, g.Tag(a))
+		}
+		if seen[a] {
+			t.Fatalf("duplicate address %#x at index %d", a, i)
+		}
+		seen[a] = true
+	}
+}
+
+func TestDirectMappedIndexCoversAllSets(t *testing.T) {
+	g := MustGeometry(32*1024, 1, 32)
+	hit := make([]bool, g.Sets())
+	for a := Addr(0); a < 32*1024; a += 32 {
+		hit[g.Index(a)] = true
+	}
+	for i, h := range hit {
+		if !h {
+			t.Fatalf("set %d never indexed by a 32KB linear sweep", i)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for _, c := range []struct {
+		in   int
+		want uint
+	}{{1, 0}, {2, 1}, {32, 5}, {1024, 10}, {1 << 20, 20}} {
+		if got := log2(c.in); got != c.want {
+			t.Errorf("log2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

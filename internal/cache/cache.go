@@ -1,0 +1,322 @@
+// Package cache implements the set-associative, write-back, LRU caches used
+// for the L1 data and L2 caches of the simulated machine (Table 1 of the
+// paper), including the per-line metadata the prefetching
+// experiments need: whether a line was brought in by a prefetch, and the
+// cycle at which its data actually arrives (so a demand access that catches
+// an in-flight prefetch pays only the remaining latency).
+package cache
+
+import (
+	"fmt"
+
+	"tagprefetch/internal/addr"
+)
+
+// Line is one cache block frame.
+type Line struct {
+	Tag        uint64
+	Valid      bool
+	Dirty      bool
+	Prefetched bool  // filled by a prefetch and not yet referenced by demand
+	ReadyAt    int64 // cycle at which the block's data is available
+	FilledAt   int64 // cycle at which the fill was initiated
+	LastTouch  int64 // cycle of the most recent demand access (for dead-block timekeeping)
+	lru        int64 // recency stamp; larger = more recent
+}
+
+// Cache is a set-associative write-back cache. Construct with New.
+type Cache struct {
+	name string
+	geom addr.Geometry
+	sets [][]Line
+	tick int64 // recency clock
+
+	stats Stats
+}
+
+// Stats counts cache activity. "Demand" excludes prefetch fills.
+type Stats struct {
+	Accesses              uint64 // demand accesses
+	Hits                  uint64
+	Misses                uint64
+	HitsOnPrefetch        uint64 // demand hits whose line was brought in by a prefetch
+	LateHits              uint64 // demand hits on lines whose data was still in flight
+	Fills                 uint64 // demand fills
+	PrefetchFills         uint64
+	Evictions             uint64
+	Writebacks            uint64
+	UnusedPrefetchEvicted uint64 // prefetched lines evicted without a demand touch
+}
+
+// MissRate returns misses / accesses (0 when no accesses).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// New creates a cache with the given geometry.
+func New(name string, g addr.Geometry) *Cache {
+	sets := make([][]Line, g.Sets())
+	backing := make([]Line, g.Sets()*g.Ways())
+	for i := range sets {
+		sets[i], backing = backing[:g.Ways():g.Ways()], backing[g.Ways():]
+	}
+	return &Cache{name: name, geom: g, sets: sets}
+}
+
+// Name returns the cache name.
+func (c *Cache) Name() string { return c.name }
+
+// Geometry returns the cache geometry.
+func (c *Cache) Geometry() addr.Geometry { return c.geom }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// AccessResult describes the outcome of a demand access.
+type AccessResult struct {
+	Hit        bool
+	ReadyAt    int64 // when the data is available (== access cycle for settled hits)
+	Prefetched bool  // the hit line was originally filled by a prefetch
+	Index      uint32
+	Tag        uint64
+}
+
+// Probe reports whether block a is present, without changing any state.
+func (c *Cache) Probe(a addr.Addr) bool {
+	set := c.sets[c.geom.Index(a)]
+	tag := c.geom.Tag(a)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand read or write at cycle now.
+// On a hit the line's recency and touch metadata are updated; on a miss the
+// caller is responsible for performing the Fill after the lower levels
+// return the block.
+func (c *Cache) Access(a addr.Addr, write bool, now int64) AccessResult {
+	idx := c.geom.Index(a)
+	tag := c.geom.Tag(a)
+	res := AccessResult{Index: idx, Tag: tag}
+	c.stats.Accesses++
+	set := c.sets[idx]
+	for i := range set {
+		ln := &set[i]
+		if !ln.Valid || ln.Tag != tag {
+			continue
+		}
+		c.stats.Hits++
+		res.Hit = true
+		res.ReadyAt = now
+		if ln.ReadyAt > now { // in-flight fill: pay remaining latency
+			res.ReadyAt = ln.ReadyAt
+			c.stats.LateHits++
+		}
+		if ln.Prefetched {
+			c.stats.HitsOnPrefetch++
+			res.Prefetched = true
+			ln.Prefetched = false
+		}
+		if write {
+			ln.Dirty = true
+		}
+		ln.LastTouch = now
+		c.tick++
+		ln.lru = c.tick
+		return res
+	}
+	c.stats.Misses++
+	return res
+}
+
+// Eviction describes the line displaced by a fill.
+type Eviction struct {
+	Valid         bool // a valid line was displaced
+	Addr          addr.Addr
+	Dirty         bool
+	WasPrefetched bool // displaced line was an unused prefetch
+	LastTouch     int64
+	FilledAt      int64
+}
+
+// Fill inserts block a at cycle now with data arriving at readyAt.
+// prefetch marks the line as prefetched (not yet demanded). If the block is
+// already present the existing line's readiness is refreshed instead (an
+// in-flight demand fill and a prefetch to the same block merge).
+// Returns the eviction, if any.
+func (c *Cache) Fill(a addr.Addr, now, readyAt int64, prefetch bool) Eviction {
+	idx := c.geom.Index(a)
+	tag := c.geom.Tag(a)
+	set := c.sets[idx]
+	if prefetch {
+		c.stats.PrefetchFills++
+	} else {
+		c.stats.Fills++
+	}
+	// Merge with an existing copy.
+	for i := range set {
+		ln := &set[i]
+		if ln.Valid && ln.Tag == tag {
+			if readyAt < ln.ReadyAt {
+				ln.ReadyAt = readyAt
+			}
+			if !prefetch {
+				ln.Prefetched = false
+			}
+			return Eviction{}
+		}
+	}
+	// Choose victim: first invalid way, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].Valid {
+			victim = i
+			goto place
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+place:
+	ev := Eviction{}
+	v := &set[victim]
+	if v.Valid {
+		c.stats.Evictions++
+		ev.Valid = true
+		ev.Addr = c.geom.Compose(v.Tag, idx)
+		ev.Dirty = v.Dirty
+		ev.WasPrefetched = v.Prefetched
+		ev.LastTouch = v.LastTouch
+		ev.FilledAt = v.FilledAt
+		if v.Dirty {
+			c.stats.Writebacks++
+		}
+		if v.Prefetched {
+			c.stats.UnusedPrefetchEvicted++
+		}
+	}
+	c.tick++
+	*v = Line{
+		Tag:        tag,
+		Valid:      true,
+		Prefetched: prefetch,
+		ReadyAt:    readyAt,
+		FilledAt:   now,
+		LastTouch:  now,
+		lru:        c.tick,
+	}
+	return ev
+}
+
+// SetDirty marks block a dirty if present (write-allocate stores dirty the
+// line they just filled without a second demand access).
+func (c *Cache) SetDirty(a addr.Addr) {
+	set := c.sets[c.geom.Index(a)]
+	tag := c.geom.Tag(a)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == tag {
+			set[i].Dirty = true
+			return
+		}
+	}
+}
+
+// Invalidate removes block a if present, returning whether it was dirty.
+func (c *Cache) Invalidate(a addr.Addr) (present, dirty bool) {
+	set := c.sets[c.geom.Index(a)]
+	tag := c.geom.Tag(a)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == tag {
+			dirty = set[i].Dirty
+			set[i] = Line{}
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// LineAt returns a copy of the line holding block a, if present.
+func (c *Cache) LineAt(a addr.Addr) (Line, bool) {
+	set := c.sets[c.geom.Index(a)]
+	tag := c.geom.Tag(a)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == tag {
+			return set[i], true
+		}
+	}
+	return Line{}, false
+}
+
+// VictimFor returns the line that a fill of block a would displace right
+// now, without displacing it. ok is false when the fill would use an
+// invalid (empty) way or merge with an existing copy of the block.
+func (c *Cache) VictimFor(a addr.Addr) (Line, bool) {
+	idx := c.geom.Index(a)
+	tag := c.geom.Tag(a)
+	set := c.sets[idx]
+	victim := -1
+	for i := range set {
+		if set[i].Valid && set[i].Tag == tag {
+			return Line{}, false
+		}
+		if !set[i].Valid {
+			return Line{}, false
+		}
+		if victim < 0 || set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	return set[victim], true
+}
+
+// UnusedPrefetched returns the number of resident lines that were filled by
+// a prefetch and never touched by demand (used at end of simulation to
+// close the "prefetched extra" accounting of Figure 12).
+func (c *Cache) UnusedPrefetched() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Valid && set[i].Prefetched {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = Line{}
+		}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
+// String describes the cache configuration.
+func (c *Cache) String() string {
+	g := c.geom
+	return fmt.Sprintf("%s: %dKB %d-way %dB blocks (%d sets)",
+		c.name, g.SizeBytes()/1024, g.Ways(), g.BlockBytes(), g.Sets())
+}

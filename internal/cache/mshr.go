@@ -1,0 +1,126 @@
+package cache
+
+import "tagprefetch/internal/addr"
+
+// MSHRFile models the miss status holding registers of the L1 data cache
+// (Table 1: 64 MSHRs). Each entry tracks one in-flight block fill; misses to
+// a block that is already in flight merge into the existing entry instead of
+// issuing a second request. When the file is full, further misses must stall
+// until an entry retires.
+type MSHRFile struct {
+	capacity int
+	pending  map[uint64]*MSHR // keyed by block ID
+
+	merges    uint64
+	allocs    uint64
+	fullStall uint64
+}
+
+// MSHR is one in-flight miss.
+type MSHR struct {
+	Block    uint64 // block ID
+	ReadyAt  int64  // cycle the fill completes
+	Demands  int    // number of demand accesses merged into this miss
+	Prefetch bool   // initiated by a prefetch (no demand yet)
+}
+
+// NewMSHRFile creates a file with the given capacity (must be positive).
+func NewMSHRFile(capacity int) *MSHRFile {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &MSHRFile{capacity: capacity, pending: make(map[uint64]*MSHR, capacity)}
+}
+
+// Capacity returns the number of entries.
+func (f *MSHRFile) Capacity() int { return f.capacity }
+
+// InFlight returns the number of occupied entries.
+func (f *MSHRFile) InFlight() int { return len(f.pending) }
+
+// Lookup returns the entry for block a under geometry g, if in flight.
+func (f *MSHRFile) Lookup(g addr.Geometry, a addr.Addr) (*MSHR, bool) {
+	m, ok := f.pending[g.BlockID(a)]
+	return m, ok
+}
+
+// Remove retires the entry for block a, if any.
+func (f *MSHRFile) Remove(g addr.Geometry, a addr.Addr) {
+	delete(f.pending, g.BlockID(a))
+}
+
+// ReleaseBefore retires every entry whose fill completed at or before now,
+// returning the number retired. The simulator calls this as time advances.
+func (f *MSHRFile) ReleaseBefore(now int64) int {
+	n := 0
+	for k, m := range f.pending {
+		if m.ReadyAt <= now {
+			delete(f.pending, k)
+			n++
+		}
+	}
+	return n
+}
+
+// EarliestReady returns the soonest completion cycle among in-flight
+// entries, or 0 when the file is empty.
+func (f *MSHRFile) EarliestReady() int64 {
+	var best int64
+	first := true
+	for _, m := range f.pending {
+		if first || m.ReadyAt < best {
+			best = m.ReadyAt
+			first = false
+		}
+	}
+	if first {
+		return 0
+	}
+	return best
+}
+
+// Allocate records a new in-flight miss for block a completing at readyAt.
+// It returns the entry and true on success, or nil and false when the file
+// is full (the caller must stall until EarliestReady and retry). If the
+// block is already in flight the existing entry is returned with merged
+// demand accounting and ok = true.
+func (f *MSHRFile) Allocate(g addr.Geometry, a addr.Addr, readyAt int64, prefetch bool) (*MSHR, bool) {
+	id := g.BlockID(a)
+	if m, ok := f.pending[id]; ok {
+		f.merges++
+		if !prefetch {
+			m.Demands++
+			m.Prefetch = false
+		}
+		return m, true
+	}
+	if len(f.pending) >= f.capacity {
+		f.fullStall++
+		return nil, false
+	}
+	m := &MSHR{Block: id, ReadyAt: readyAt, Prefetch: prefetch}
+	if !prefetch {
+		m.Demands = 1
+	}
+	f.pending[id] = m
+	f.allocs++
+	return m, true
+}
+
+// MSHRStats summarises MSHR activity.
+type MSHRStats struct {
+	Allocations uint64
+	Merges      uint64
+	FullStalls  uint64
+}
+
+// Stats returns activity counters.
+func (f *MSHRFile) Stats() MSHRStats {
+	return MSHRStats{Allocations: f.allocs, Merges: f.merges, FullStalls: f.fullStall}
+}
+
+// Reset clears all entries and statistics.
+func (f *MSHRFile) Reset() {
+	f.pending = make(map[uint64]*MSHR, f.capacity)
+	f.merges, f.allocs, f.fullStall = 0, 0, 0
+}

@@ -1,0 +1,100 @@
+package cache
+
+import (
+	"testing"
+
+	"tagprefetch/internal/addr"
+)
+
+func TestMSHRAllocateAndMerge(t *testing.T) {
+	g := l1geom()
+	f := NewMSHRFile(4)
+	a := addr.Addr(0x1000)
+	m, ok := f.Allocate(g, a, 100, false)
+	if !ok || m == nil || m.Demands != 1 {
+		t.Fatalf("alloc = %+v ok=%v", m, ok)
+	}
+	// Same block, different offset: merges.
+	m2, ok := f.Allocate(g, a+8, 120, false)
+	if !ok || m2 != m || m2.Demands != 2 {
+		t.Fatalf("merge = %+v ok=%v", m2, ok)
+	}
+	if f.InFlight() != 1 {
+		t.Errorf("in flight = %d", f.InFlight())
+	}
+	s := f.Stats()
+	if s.Allocations != 1 || s.Merges != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestMSHRFullStalls(t *testing.T) {
+	g := l1geom()
+	f := NewMSHRFile(2)
+	f.Allocate(g, 0x0000, 50, false)
+	f.Allocate(g, 0x2000, 80, false)
+	if _, ok := f.Allocate(g, 0x4000, 90, false); ok {
+		t.Fatal("allocation succeeded on full file")
+	}
+	if f.Stats().FullStalls != 1 {
+		t.Errorf("full stalls = %d", f.Stats().FullStalls)
+	}
+	if f.EarliestReady() != 50 {
+		t.Errorf("earliest = %d, want 50", f.EarliestReady())
+	}
+	if n := f.ReleaseBefore(50); n != 1 {
+		t.Errorf("released %d, want 1", n)
+	}
+	if _, ok := f.Allocate(g, 0x4000, 90, false); !ok {
+		t.Error("allocation failed after release")
+	}
+}
+
+func TestMSHRPrefetchPromotion(t *testing.T) {
+	g := l1geom()
+	f := NewMSHRFile(4)
+	m, _ := f.Allocate(g, 0x1000, 100, true)
+	if !m.Prefetch || m.Demands != 0 {
+		t.Fatalf("prefetch entry = %+v", m)
+	}
+	// A demand miss to the same in-flight block demotes it to a demand miss.
+	m2, _ := f.Allocate(g, 0x1000, 100, false)
+	if m2.Prefetch || m2.Demands != 1 {
+		t.Errorf("promoted entry = %+v", m2)
+	}
+}
+
+func TestMSHRLookup(t *testing.T) {
+	g := l1geom()
+	f := NewMSHRFile(4)
+	if _, ok := f.Lookup(g, 0x1000); ok {
+		t.Error("lookup hit on empty file")
+	}
+	f.Allocate(g, 0x1000, 10, false)
+	if m, ok := f.Lookup(g, 0x1010); !ok || m.ReadyAt != 10 {
+		t.Errorf("lookup = %+v ok=%v", m, ok)
+	}
+}
+
+func TestMSHREmptyEarliestAndReset(t *testing.T) {
+	g := l1geom()
+	f := NewMSHRFile(3)
+	if f.EarliestReady() != 0 {
+		t.Errorf("earliest on empty = %d", f.EarliestReady())
+	}
+	f.Allocate(g, 0x1000, 10, false)
+	f.Reset()
+	if f.InFlight() != 0 || f.Stats().Allocations != 0 {
+		t.Error("reset incomplete")
+	}
+	if f.Capacity() != 3 {
+		t.Errorf("capacity = %d", f.Capacity())
+	}
+}
+
+func TestMSHRBadCapacityClamped(t *testing.T) {
+	f := NewMSHRFile(0)
+	if f.Capacity() != 1 {
+		t.Errorf("capacity = %d, want 1", f.Capacity())
+	}
+}

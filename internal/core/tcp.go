@@ -1,0 +1,410 @@
+// Package core implements the paper's primary contribution: the Tag
+// Correlating Prefetcher (TCP, Section 4).
+//
+// TCP is a two-level structure mirroring two-level branch predictors:
+//
+//   - The Tag History Table (THT) is direct-mapped with one row per L1 data
+//     cache set; each row remembers the last k tags that missed in that set
+//     (the paper uses k = 2).
+//   - The Pattern History Table (PHT) is set-associative; it is indexed by
+//     the low bits of a truncated addition of the tags in the history
+//     sequence, concatenated with the low n bits of the miss index
+//     (Figure 9). Each entry is {tag, tag'}: tagged by the last tag of the
+//     indexing sequence, storing the predicted successor tag.
+//
+// On an L1 miss with (miss index, miss tag), TCP first uses the *old* THT
+// sequence to update the PHT entry for that sequence with the observed
+// successor (the miss tag), then shifts the miss tag into the THT row, and
+// finally looks up the *new* sequence in the PHT; a hit predicts the next
+// tag, which recombined with the same miss index forms the prefetch block
+// address issued to the L2 (Section 4, update/lookup).
+//
+// With n = 0 every cache set shares the PHT (TCP-8K); with n = 10 (the full
+// miss index of a 1024-set L1) every set has private pattern space
+// (TCP-8M). The sharing trade-off is the subject of Figures 11-13.
+package core
+
+import (
+	"fmt"
+
+	"tagprefetch/internal/addr"
+	"tagprefetch/internal/prefetch"
+	"tagprefetch/internal/trace"
+)
+
+// HashKind selects the PHT index hash over the tag sequence.
+type HashKind uint8
+
+const (
+	// HashTruncAdd is the paper's truncated addition of all tags (Figure 9,
+	// crediting the same scheme in DBCP [12]).
+	HashTruncAdd HashKind = iota
+	// HashXOR folds the tags with shifts and XORs — the gshare-style
+	// alternative explored by the A3 ablation.
+	HashXOR
+)
+
+// Config parameterises a TCP instance.
+type Config struct {
+	// L1 is the geometry whose miss stream TCP observes (index/tag space).
+	L1 addr.Geometry
+	// HistoryDepth is k, the tags remembered per THT row (paper: 2).
+	HistoryDepth int
+	// PHTSets and PHTWays size the pattern history table (paper: 8-way).
+	PHTSets int
+	PHTWays int
+	// IndexBits is n, the number of low miss-index bits mixed into the PHT
+	// index: 0 = fully shared, L1.IndexBits() = fully private (Figure 9).
+	IndexBits int
+	// TagBits is the width of stored tags for matching and storage
+	// accounting (default 16, giving the paper's 4-byte {tag, tag'} entry).
+	TagBits int
+	// Targets is the number of successor tags per entry, MRU first.
+	// 1 reproduces the paper; >1 implements the Section 6 multi-target
+	// extension in the style of Markov prefetchers.
+	Targets int
+	// Hash selects the PHT index hash (default HashTruncAdd).
+	Hash HashKind
+	// StrideAssist enables the Section 6 extension for strided tag
+	// sequences: when a set's tag history exhibits a constant non-zero
+	// stride, the next tag is also predicted arithmetically, without
+	// consuming PHT space. The paper measures such sequences in Figure 15
+	// and proposes exploiting them as future work.
+	StrideAssist bool
+	// PrefetchToL1 marks requests for L1 promotion (used by the hybrid
+	// scheme together with a dead-block predictor; Section 5.2.2).
+	PrefetchToL1 bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.HistoryDepth <= 0 {
+		c.HistoryDepth = 2
+	}
+	if c.PHTSets <= 0 {
+		c.PHTSets = 256
+	}
+	if c.PHTWays <= 0 {
+		c.PHTWays = 8
+	}
+	if c.TagBits <= 0 || c.TagBits > 32 {
+		c.TagBits = 16
+	}
+	if c.Targets <= 0 {
+		c.Targets = 1
+	}
+	if c.IndexBits < 0 {
+		c.IndexBits = 0
+	}
+	if max := int(c.L1.IndexBits()); c.IndexBits > max {
+		c.IndexBits = max
+	}
+	// The miss-index bits cannot exceed the PHT's own index width: a PHT
+	// with 2^s sets sliced by n >= s index bits would leave no room for
+	// the tag-sequence hash at all.
+	if max := int(log2u(c.PHTSets)); c.IndexBits > max {
+		c.IndexBits = max
+	}
+	return c
+}
+
+// TCP8K returns the paper's realistic design point: an 8 KB PHT with 256
+// sets, 8 ways, and no miss-index bits (all cache sets share patterns).
+func TCP8K(l1 addr.Geometry) Config {
+	return Config{L1: l1, HistoryDepth: 2, PHTSets: 256, PHTWays: 8, IndexBits: 0}
+}
+
+// TCP8M returns the paper's idealised no-sharing point: an 8 MB PHT with
+// 262144 sets, 8 ways, indexed with the full miss index.
+func TCP8M(l1 addr.Geometry) Config {
+	return Config{L1: l1, HistoryDepth: 2, PHTSets: 262144, PHTWays: 8,
+		IndexBits: int(l1.IndexBits())}
+}
+
+// TCP is the tag correlating prefetcher. Construct with New.
+type TCP struct {
+	cfg     Config
+	tagMask uint64
+	setMask uint64
+	idxMask uint32
+	hiBits  uint
+
+	tht     [][]uint64 // [L1 sets][k] tag history, oldest first
+	thtFill []int      // valid tags per row
+	pht     []phtEntry // PHTSets * PHTWays
+	clock   int64
+
+	stats Stats
+}
+
+type phtEntry struct {
+	tag     uint64 // partial tag of the last tag in the indexing sequence
+	targets []uint64
+	used    int64
+	valid   bool
+}
+
+// Stats counts predictor activity.
+type Stats struct {
+	Misses      uint64 // L1 misses observed
+	Lookups     uint64 // PHT lookups with a full history
+	Hits        uint64 // PHT lookups that matched an entry
+	Predictions uint64 // prefetch requests produced by the PHT
+	Updates     uint64 // PHT entries trained
+	Allocs      uint64 // PHT entries newly allocated
+
+	StridePredictions uint64 // requests produced by the stride assist (§6)
+}
+
+// New creates a TCP from cfg (zero fields take the paper's defaults).
+func New(cfg Config) *TCP {
+	cfg = cfg.withDefaults()
+	if cfg.PHTSets&(cfg.PHTSets-1) != 0 {
+		panic(fmt.Sprintf("core: PHT sets %d not a power of two", cfg.PHTSets))
+	}
+	t := &TCP{
+		cfg:     cfg,
+		tagMask: (1 << uint(cfg.TagBits)) - 1,
+		setMask: uint64(cfg.PHTSets - 1),
+		idxMask: uint32(1<<uint(cfg.IndexBits)) - 1,
+	}
+	t.hiBits = log2u(cfg.PHTSets) - uint(cfg.IndexBits)
+	t.tht = make([][]uint64, cfg.L1.Sets())
+	backing := make([]uint64, cfg.L1.Sets()*cfg.HistoryDepth)
+	for i := range t.tht {
+		t.tht[i], backing = backing[:cfg.HistoryDepth:cfg.HistoryDepth], backing[cfg.HistoryDepth:]
+	}
+	t.thtFill = make([]int, cfg.L1.Sets())
+	t.pht = make([]phtEntry, cfg.PHTSets*cfg.PHTWays)
+	return t
+}
+
+func log2u(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Name implements prefetch.Prefetcher.
+func (t *TCP) Name() string {
+	return fmt.Sprintf("tcp-%s", formatSize(t.StorageBits()/8))
+}
+
+func formatSize(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dM", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dK", b>>10)
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// Config returns the effective configuration (defaults applied).
+func (t *TCP) Config() Config { return t.cfg }
+
+// phtIndex computes the PHT set index for a tag sequence ending at a miss
+// in cache set missIndex (Figure 9).
+func (t *TCP) phtIndex(seq []uint64, missIndex uint32) uint64 {
+	var h uint64
+	switch t.cfg.Hash {
+	case HashXOR:
+		for _, tag := range seq {
+			h = (h << 3) ^ (h >> 13) ^ (tag & t.tagMask)
+		}
+	default: // truncated addition
+		for _, tag := range seq {
+			h += tag & t.tagMask
+		}
+	}
+	hi := h & ((1 << t.hiBits) - 1)
+	lo := uint64(missIndex & t.idxMask)
+	return ((hi << uint(t.cfg.IndexBits)) | lo) & t.setMask
+}
+
+// phtProbe returns the matching entry in the set, or nil.
+func (t *TCP) phtProbe(setIdx uint64, lastTag uint64) *phtEntry {
+	base := int(setIdx) * t.cfg.PHTWays
+	set := t.pht[base : base+t.cfg.PHTWays]
+	key := lastTag & t.tagMask
+	for i := range set {
+		if set[i].valid && set[i].tag == key {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// phtAllocate returns the matching entry, allocating (LRU victim) if absent.
+func (t *TCP) phtAllocate(setIdx uint64, lastTag uint64) *phtEntry {
+	if e := t.phtProbe(setIdx, lastTag); e != nil {
+		return e
+	}
+	base := int(setIdx) * t.cfg.PHTWays
+	set := t.pht[base : base+t.cfg.PHTWays]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	t.stats.Allocs++
+	set[victim] = phtEntry{tag: lastTag & t.tagMask, valid: true}
+	return &set[victim]
+}
+
+// OnMiss implements prefetch.Prefetcher: the update and lookup operations
+// of Section 4, in that order, for one L1 demand miss.
+func (t *TCP) OnMiss(m trace.Miss) []prefetch.Request {
+	t.stats.Misses++
+	t.clock++
+	row := t.tht[m.Index]
+	k := t.cfg.HistoryDepth
+
+	// Update: train PHT[old sequence] with the observed successor.
+	if t.thtFill[m.Index] == k {
+		setIdx := t.phtIndex(row, m.Index)
+		e := t.phtAllocate(setIdx, row[k-1])
+		e.used = t.clock
+		t.train(e, m.Tag)
+		t.stats.Updates++
+	}
+
+	// Shift the miss tag into the THT row.
+	if t.thtFill[m.Index] < k {
+		row[t.thtFill[m.Index]] = m.Tag
+		t.thtFill[m.Index]++
+	} else {
+		copy(row, row[1:])
+		row[k-1] = m.Tag
+	}
+	if t.thtFill[m.Index] < k {
+		return nil
+	}
+
+	// Lookup: predict the successor of the new sequence.
+	t.stats.Lookups++
+	var reqs []prefetch.Request
+	setIdx := t.phtIndex(row, m.Index)
+	if e := t.phtProbe(setIdx, m.Tag); e != nil && len(e.targets) > 0 {
+		e.used = t.clock
+		t.stats.Hits++
+		for _, tg := range e.targets {
+			a := t.cfg.L1.Compose(tg, m.Index)
+			if t.cfg.L1.Block(m.Addr) == a {
+				continue // predicting the line that just missed is useless
+			}
+			reqs = append(reqs, prefetch.Request{Addr: a, ToL1: t.cfg.PrefetchToL1})
+			t.stats.Predictions++
+		}
+	}
+
+	// Section 6 extension: per-set strided tag sequences predict
+	// arithmetically, with no PHT entry at all.
+	if t.cfg.StrideAssist {
+		if next, ok := stridedNext(row); ok {
+			a := t.cfg.L1.Compose(next, m.Index)
+			if a != t.cfg.L1.Block(m.Addr) && !hasTarget(reqs, a) {
+				reqs = append(reqs, prefetch.Request{Addr: a, ToL1: t.cfg.PrefetchToL1})
+				t.stats.StridePredictions++
+			}
+		}
+	}
+	return reqs
+}
+
+// stridedNext reports the arithmetic successor of a constant-stride tag
+// history (the "strided tag sequences" of Section 6), if the history is
+// strided. At least 3 tags (two equal deltas) are required: with only two
+// tags every pair would qualify and the assist would flood the L2 with
+// arithmetic guesses, so the assist is inert unless HistoryDepth >= 3.
+func stridedNext(row []uint64) (uint64, bool) {
+	if len(row) < 3 {
+		return 0, false
+	}
+	d := int64(row[1]) - int64(row[0])
+	if d == 0 {
+		return 0, false
+	}
+	for i := 2; i < len(row); i++ {
+		if int64(row[i])-int64(row[i-1]) != d {
+			return 0, false
+		}
+	}
+	next := int64(row[len(row)-1]) + d
+	if next < 0 {
+		return 0, false
+	}
+	return uint64(next), true
+}
+
+func hasTarget(reqs []prefetch.Request, a addr.Addr) bool {
+	for _, r := range reqs {
+		if r.Addr == a {
+			return true
+		}
+	}
+	return false
+}
+
+// train records successor as the MRU target of entry e.
+//
+// Stored targets keep full tag width so the prefetch address can be
+// reconstructed exactly; the TagBits truncation applies to matching and to
+// the storage accounting, mirroring how a real implementation would store
+// only the bits needed to rebuild an address within the reachable region.
+func (t *TCP) train(e *phtEntry, successor uint64) {
+	out := make([]uint64, 0, t.cfg.Targets)
+	out = append(out, successor)
+	for _, s := range e.targets {
+		if s != successor && len(out) < t.cfg.Targets {
+			out = append(out, s)
+		}
+	}
+	e.targets = out
+}
+
+// OnAccess implements prefetch.Prefetcher (TCP only observes misses).
+func (t *TCP) OnAccess(addr.Addr, addr.Addr, int64, bool) []prefetch.Request { return nil }
+
+// OnEvict implements prefetch.Prefetcher (TCP does not track evictions).
+func (t *TCP) OnEvict(addr.Addr, int64, int64, int64) {}
+
+// StorageBits implements prefetch.Prefetcher: the PHT budget
+// (sets x ways x (tag + Targets x tag')); the paper quotes designs by PHT
+// size, with the ~4 KB THT (1024 x 2 x 16b) reported separately by THTBits.
+func (t *TCP) StorageBits() uint64 {
+	entry := uint64(t.cfg.TagBits) * uint64(1+t.cfg.Targets)
+	return uint64(t.cfg.PHTSets) * uint64(t.cfg.PHTWays) * entry
+}
+
+// THTBits returns the first-level table budget.
+func (t *TCP) THTBits() uint64 {
+	return uint64(t.cfg.L1.Sets()) * uint64(t.cfg.HistoryDepth) * uint64(t.cfg.TagBits)
+}
+
+// Stats returns predictor counters.
+func (t *TCP) Stats() Stats { return t.stats }
+
+// Reset implements prefetch.Prefetcher.
+func (t *TCP) Reset() {
+	for i := range t.tht {
+		for j := range t.tht[i] {
+			t.tht[i][j] = 0
+		}
+	}
+	for i := range t.thtFill {
+		t.thtFill[i] = 0
+	}
+	for i := range t.pht {
+		t.pht[i] = phtEntry{}
+	}
+	t.clock = 0
+	t.stats = Stats{}
+}

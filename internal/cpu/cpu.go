@@ -1,0 +1,361 @@
+// Package cpu is a constructive cycle-level timing model of the paper's
+// simulated processor (Table 1): an 8-issue out-of-order superscalar with a
+// 128-entry RUU, a 128-entry LSQ, the listed functional-unit mix, and a
+// two-level branch predictor driving fetch redirects.
+//
+// The model is "constructive" in the sense of SimpleScalar-class timing
+// analysis: because dispatch and commit are in order, each dynamic
+// instruction's dispatch, issue, completion and commit cycles can be
+// computed in program order with resource free-time bookkeeping —
+//
+//	dispatch(i) >= dispatch(i-1)                 (8/cycle)
+//	dispatch(i) >= commit(i - RUU)               (window space)
+//	dispatch(i) >= redirect of last mispredict   (fetch stall)
+//	mem op      >= commit of (memop - LSQ)       (LSQ space)
+//	issue(i)     = max(dispatch+1, deps done, FU free)
+//	done(i)      = issue + latency   (loads: memory-system walk)
+//	commit(i)    = max(done(i), commit(i-1))     (8/cycle, in order)
+//
+// which captures exactly the mechanisms that determine how much L1-miss
+// latency the machine can hide: dependence chains (pointer chases
+// serialise), window occupancy (long misses fill the RUU and stall
+// dispatch), MLP (independent misses overlap in the memory system), and
+// issue/FU contention. See DESIGN.md §5 and §7 for the deviations.
+package cpu
+
+import (
+	"tagprefetch/internal/addr"
+	"tagprefetch/internal/branch"
+	"tagprefetch/internal/workload"
+)
+
+// Memory is the data-memory interface the core drives (satisfied by
+// memsys.MemSys).
+type Memory interface {
+	// Access performs a load/store issued at cycle now and returns the
+	// cycle at which the data is available.
+	Access(a, pc addr.Addr, write bool, now int64) int64
+}
+
+// Config parameterises the core. Zero fields take Table 1 defaults.
+type Config struct {
+	IssueWidth int // instructions dispatched and committed per cycle
+	RUUSize    int // register update unit (window) entries
+	LSQSize    int // load/store queue entries
+
+	IntALU, IntMult, FPALU, FPMult, MemPorts int // functional-unit counts
+
+	RedirectPenalty int64 // extra front-end cycles after a mispredict resolves
+
+	Predictor branch.Predictor // nil: a 12-bit gshare with 8-bit history
+
+	// OnLoadRetire, if non-nil, is invoked as each load commits with
+	// whether the load's completion was on the commit critical path (the
+	// window drained waiting for it). Feeds critical-miss predictors.
+	OnLoadRetire func(pc uint64, critical bool)
+}
+
+// DefaultConfig returns the paper's Table 1 core.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth:      8,
+		RUUSize:         128,
+		LSQSize:         128,
+		IntALU:          8,
+		IntMult:         3,
+		FPALU:           6,
+		FPMult:          2,
+		MemPorts:        4,
+		RedirectPenalty: 3,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.IssueWidth <= 0 {
+		c.IssueWidth = d.IssueWidth
+	}
+	if c.RUUSize <= 0 {
+		c.RUUSize = d.RUUSize
+	}
+	if c.LSQSize <= 0 {
+		c.LSQSize = d.LSQSize
+	}
+	if c.IntALU <= 0 {
+		c.IntALU = d.IntALU
+	}
+	if c.IntMult <= 0 {
+		c.IntMult = d.IntMult
+	}
+	if c.FPALU <= 0 {
+		c.FPALU = d.FPALU
+	}
+	if c.FPMult <= 0 {
+		c.FPMult = d.FPMult
+	}
+	if c.MemPorts <= 0 {
+		c.MemPorts = d.MemPorts
+	}
+	if c.RedirectPenalty <= 0 {
+		c.RedirectPenalty = d.RedirectPenalty
+	}
+	return c
+}
+
+// execution latencies per class (cycles in a functional unit).
+const (
+	latIntALU = 1
+	latIntMul = 3
+	latFPALU  = 2
+	latFPMul  = 4
+	latBranch = 1
+	latAGU    = 1 // address generation before the cache access
+)
+
+// Result summarises one run.
+type Result struct {
+	Instructions uint64
+	Cycles       int64
+	IPC          float64
+
+	Loads, Stores      uint64
+	Branches           uint64
+	BranchMispredicts  uint64
+	DispatchStallRUU   uint64 // instructions whose dispatch waited on window space
+	DispatchStallLSQ   uint64
+	FetchRedirectStall uint64 // instructions delayed by a mispredict redirect
+}
+
+// fuPool is a scoreboard of identical pipelined units: each issue occupies
+// a unit for one cycle (initiation interval 1).
+type fuPool struct {
+	freeAt []int64
+}
+
+func newPool(n int) *fuPool { return &fuPool{freeAt: make([]int64, n)} }
+
+// issue returns the earliest cycle >= ready at which a unit accepts the op,
+// and books the unit.
+func (p *fuPool) issue(ready int64) int64 {
+	best := 0
+	for i := 1; i < len(p.freeAt); i++ {
+		if p.freeAt[i] < p.freeAt[best] {
+			best = i
+		}
+	}
+	at := ready
+	if p.freeAt[best] > at {
+		at = p.freeAt[best]
+	}
+	p.freeAt[best] = at + 1
+	return at
+}
+
+// sub returns the per-counter difference r - w (measured-only counters
+// after a warmup boundary).
+func (r Result) sub(w Result) Result {
+	return Result{
+		Instructions:       r.Instructions - w.Instructions,
+		Cycles:             r.Cycles - w.Cycles,
+		Loads:              r.Loads - w.Loads,
+		Stores:             r.Stores - w.Stores,
+		Branches:           r.Branches - w.Branches,
+		BranchMispredicts:  r.BranchMispredicts - w.BranchMispredicts,
+		DispatchStallRUU:   r.DispatchStallRUU - w.DispatchStallRUU,
+		DispatchStallLSQ:   r.DispatchStallLSQ - w.DispatchStallLSQ,
+		FetchRedirectStall: r.FetchRedirectStall - w.FetchRedirectStall,
+	}
+}
+
+// Core is the out-of-order processor model. Construct with New.
+type Core struct {
+	cfg  Config
+	mem  Memory
+	pred branch.Predictor
+}
+
+// New creates a core bound to a data-memory system.
+func New(cfg Config, mem Memory) *Core {
+	cfg = cfg.withDefaults()
+	pred := cfg.Predictor
+	if pred == nil {
+		pred = branch.NewGShare(12, 8)
+	}
+	return &Core{cfg: cfg, mem: mem, pred: pred}
+}
+
+// Config returns the effective configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Run executes n dynamic instructions from gen and returns timing results.
+func (c *Core) Run(gen workload.Generator, n uint64) Result {
+	return c.RunMeasured(gen, 0, n, nil)
+}
+
+// RunMeasured executes warmup+measure dynamic instructions and reports
+// counters for the measured portion only — the analogue of the paper's
+// "skip the first 1 billion instructions ... then simulate 2 billion"
+// methodology. onBoundary, if non-nil, is invoked when the warmup portion
+// has been processed (callers snapshot memory-system statistics there).
+func (c *Core) RunMeasured(gen workload.Generator, warmup, measure uint64, onBoundary func()) Result {
+	cfg := c.cfg
+	n := warmup + measure
+	var res, warmRes Result
+	res.Instructions = n
+
+	doneAt := make([]int64, cfg.RUUSize)   // completion, ring by instruction index
+	commitAt := make([]int64, cfg.RUUSize) // commit, same ring
+	memCommit := make([]int64, cfg.LSQSize)
+	memCount := 0
+
+	intALU := newPool(cfg.IntALU)
+	intMul := newPool(cfg.IntMult)
+	fpALU := newPool(cfg.FPALU)
+	fpMul := newPool(cfg.FPMult)
+	memPort := newPool(cfg.MemPorts)
+
+	var (
+		dispatchCycle int64 // cycle currently receiving dispatches
+		dispatchSlots int
+		commitCycle   int64
+		commitSlots   int
+		lastCommit    int64
+		fetchResume   int64
+	)
+
+	var inst workload.Inst
+	for i := uint64(0); i < n; i++ {
+		if i == warmup && warmup > 0 {
+			warmRes = res
+			warmRes.Instructions = warmup
+			warmRes.Cycles = lastCommit
+			if onBoundary != nil {
+				onBoundary()
+			}
+		}
+		gen.Next(&inst)
+
+		// --- dispatch ---
+		d := dispatchCycle
+		if fetchResume > d {
+			d = fetchResume
+			res.FetchRedirectStall++
+		}
+		if i >= uint64(cfg.RUUSize) {
+			if w := commitAt[i%uint64(cfg.RUUSize)]; w > d {
+				d = w
+				res.DispatchStallRUU++
+			}
+		}
+		isMem := inst.Class.IsMem()
+		if isMem && memCount >= cfg.LSQSize {
+			if w := memCommit[memCount%cfg.LSQSize]; w > d {
+				d = w
+				res.DispatchStallLSQ++
+			}
+		}
+		if d > dispatchCycle {
+			dispatchCycle = d
+			dispatchSlots = 0
+		}
+		if dispatchSlots == cfg.IssueWidth {
+			dispatchCycle++
+			dispatchSlots = 0
+		}
+		d = dispatchCycle
+		dispatchSlots++
+
+		// --- operand readiness ---
+		ready := d + 1
+		for _, dep := range [2]int32{inst.Dep1, inst.Dep2} {
+			if dep <= 0 || uint64(dep) > i {
+				continue
+			}
+			if dep <= int32(cfg.RUUSize) {
+				if w := doneAt[(i-uint64(dep))%uint64(cfg.RUUSize)]; w > ready {
+					ready = w
+				}
+			}
+			// A producer more than RUUSize back committed before our
+			// dispatch, so it is necessarily complete.
+		}
+
+		// --- issue and execute ---
+		var done int64
+		switch inst.Class {
+		case workload.IntALU:
+			done = intALU.issue(ready) + latIntALU
+		case workload.IntMult:
+			done = intMul.issue(ready) + latIntMul
+		case workload.FPALU:
+			done = fpALU.issue(ready) + latFPALU
+		case workload.FPMult:
+			done = fpMul.issue(ready) + latFPMul
+		case workload.Branch:
+			done = intALU.issue(ready) + latBranch
+			res.Branches++
+			predicted := c.pred.Predict(inst.PC)
+			c.pred.Update(inst.PC, inst.Taken)
+			if predicted != inst.Taken {
+				res.BranchMispredicts++
+				if r := done + cfg.RedirectPenalty; r > fetchResume {
+					fetchResume = r
+				}
+			}
+		case workload.Load:
+			res.Loads++
+			at := memPort.issue(ready) + latAGU
+			done = c.mem.Access(addr.Addr(inst.Addr), addr.Addr(inst.PC), false, at)
+		case workload.Store:
+			res.Stores++
+			at := memPort.issue(ready) + latAGU
+			// Stores retire through the store buffer: later instructions
+			// and commit do not wait for the memory system, but the access
+			// still exercises the hierarchy (write-allocate, traffic).
+			c.mem.Access(addr.Addr(inst.Addr), addr.Addr(inst.PC), true, at)
+			done = at + 1
+		default:
+			done = intALU.issue(ready) + latIntALU
+		}
+		doneAt[i%uint64(cfg.RUUSize)] = done
+
+		// --- in-order commit, IssueWidth per cycle ---
+		cm := done
+		if lastCommit > cm {
+			cm = lastCommit
+		}
+		if inst.Class == workload.Load && cfg.OnLoadRetire != nil {
+			// The load is critical when its completion, not older work,
+			// determines the commit time — by more than the few cycles of
+			// natural pipeline skew between completion and commit.
+			const commitSkew = 8
+			cfg.OnLoadRetire(inst.PC, done > lastCommit+commitSkew)
+		}
+		if cm > commitCycle {
+			commitCycle = cm
+			commitSlots = 0
+		}
+		if commitSlots == cfg.IssueWidth {
+			commitCycle++
+			commitSlots = 0
+		}
+		cm = commitCycle
+		commitSlots++
+		lastCommit = cm
+		commitAt[i%uint64(cfg.RUUSize)] = cm
+		if isMem {
+			memCommit[memCount%cfg.LSQSize] = cm
+			memCount++
+		}
+	}
+
+	res.Cycles = lastCommit
+	res.Instructions = n
+	if warmup > 0 {
+		res = res.sub(warmRes)
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	return res
+}

@@ -1,0 +1,314 @@
+package cpu
+
+import (
+	"testing"
+
+	"tagprefetch/internal/addr"
+	"tagprefetch/internal/workload"
+)
+
+// fixedMem completes every access after a fixed latency.
+type fixedMem struct {
+	latency  int64
+	accesses uint64
+}
+
+func (m *fixedMem) Access(a, pc addr.Addr, write bool, now int64) int64 {
+	m.accesses++
+	return now + m.latency
+}
+
+// scriptGen replays a fixed instruction slice in a loop.
+type scriptGen struct {
+	insts []workload.Inst
+	pos   int
+}
+
+func (g *scriptGen) Name() string { return "script" }
+func (g *scriptGen) Reset(uint64) { g.pos = 0 }
+func (g *scriptGen) Next(in *workload.Inst) {
+	*in = g.insts[g.pos]
+	g.pos = (g.pos + 1) % len(g.insts)
+}
+
+func run(t *testing.T, cfg Config, insts []workload.Inst, n uint64, lat int64) Result {
+	t.Helper()
+	core := New(cfg, &fixedMem{latency: lat})
+	return core.Run(&scriptGen{insts: insts}, n)
+}
+
+func TestDefaultsMatchTable1(t *testing.T) {
+	c := DefaultConfig()
+	if c.IssueWidth != 8 || c.RUUSize != 128 || c.LSQSize != 128 {
+		t.Errorf("core = %+v", c)
+	}
+	if c.IntALU != 8 || c.IntMult != 3 || c.FPALU != 6 || c.FPMult != 2 || c.MemPorts != 4 {
+		t.Errorf("FUs = %+v", c)
+	}
+}
+
+func TestIndependentALUReachesIssueWidth(t *testing.T) {
+	r := run(t, Config{}, []workload.Inst{{Class: workload.IntALU}}, 100000, 0)
+	if r.IPC < 7.0 || r.IPC > 8.01 {
+		t.Errorf("IPC = %v, want ~8 for independent int ops", r.IPC)
+	}
+}
+
+func TestSerialDependencyChainIPC1(t *testing.T) {
+	// Every instruction depends on the previous one: IPC ~ 1/latency = 1.
+	r := run(t, Config{}, []workload.Inst{{Class: workload.IntALU, Dep1: 1}}, 50000, 0)
+	if r.IPC > 1.1 {
+		t.Errorf("IPC = %v, want ~1 for a serial chain", r.IPC)
+	}
+	if r.IPC < 0.8 {
+		t.Errorf("IPC = %v, suspiciously low", r.IPC)
+	}
+}
+
+func TestFPMultUnitsBoundThroughput(t *testing.T) {
+	// Only 2 FPMult units: independent FP multiplies cap at 2/cycle.
+	r := run(t, Config{}, []workload.Inst{{Class: workload.FPMult}}, 50000, 0)
+	if r.IPC > 2.1 {
+		t.Errorf("IPC = %v exceeds FPMult bandwidth", r.IPC)
+	}
+	if r.IPC < 1.5 {
+		t.Errorf("IPC = %v, want near 2", r.IPC)
+	}
+}
+
+func TestMemPortsBoundLoadThroughput(t *testing.T) {
+	r := run(t, Config{}, []workload.Inst{{Class: workload.Load, Addr: 0x1000}}, 50000, 1)
+	if r.IPC > 4.1 {
+		t.Errorf("IPC = %v exceeds 4 memory ports", r.IPC)
+	}
+	if r.Loads != 50000 {
+		t.Errorf("loads = %d", r.Loads)
+	}
+}
+
+func TestLongLatencyIndependentLoadsOverlap(t *testing.T) {
+	// Independent 100-cycle loads: the 128-entry window holds ~128 in
+	// flight, so throughput ~ min(4 ports, 128/100) > 1 load/cycle never —
+	// but way better than 1/100.
+	mix := []workload.Inst{
+		{Class: workload.Load, Addr: 0x1000},
+		{Class: workload.IntALU},
+		{Class: workload.IntALU},
+		{Class: workload.IntALU},
+	}
+	r := run(t, Config{}, mix, 40000, 100)
+	if r.IPC < 1.0 {
+		t.Errorf("IPC = %v: independent long loads failed to overlap", r.IPC)
+	}
+}
+
+func TestDependentLoadsSerialise(t *testing.T) {
+	// Each load's address depends on the previous load (pointer chase):
+	// IPC collapses to ~1/latency.
+	chase := []workload.Inst{{Class: workload.Load, Addr: 0x1000, Dep1: 1}}
+	r := run(t, Config{}, chase, 2000, 100)
+	if r.IPC > 0.02 {
+		t.Errorf("IPC = %v: dependent loads overlapped", r.IPC)
+	}
+}
+
+func TestWindowLimitsOverlap(t *testing.T) {
+	// With a tiny window, fewer independent loads fit in flight, so IPC
+	// must drop versus the big window.
+	mix := []workload.Inst{
+		{Class: workload.Load, Addr: 0x1000},
+		{Class: workload.IntALU},
+	}
+	big := run(t, Config{RUUSize: 128, LSQSize: 128}, mix, 20000, 200)
+	small := run(t, Config{RUUSize: 8, LSQSize: 8}, mix, 20000, 200)
+	if small.IPC >= big.IPC {
+		t.Errorf("small window IPC %v >= big window IPC %v", small.IPC, big.IPC)
+	}
+	if small.DispatchStallRUU == 0 {
+		t.Error("no RUU stalls recorded with a tiny window")
+	}
+}
+
+func TestLSQLimitsMemOps(t *testing.T) {
+	loads := []workload.Inst{{Class: workload.Load, Addr: 0x1000}}
+	r := run(t, Config{RUUSize: 128, LSQSize: 4}, loads, 20000, 200)
+	if r.DispatchStallLSQ == 0 {
+		t.Error("no LSQ stalls with 4-entry LSQ and 200-cycle loads")
+	}
+}
+
+func TestBranchMispredictsStallFetch(t *testing.T) {
+	// Alternating branches defeat the predictor's 2-bit counters enough to
+	// produce mispredicts; with a long redirect penalty IPC drops sharply.
+	alternating := make([]workload.Inst, 2)
+	alternating[0] = workload.Inst{Class: workload.Branch, PC: 0x400000, Taken: true}
+	alternating[1] = workload.Inst{Class: workload.Branch, PC: 0x400000, Taken: false}
+	r := run(t, Config{RedirectPenalty: 20}, alternating, 20000, 0)
+	if r.BranchMispredicts == 0 {
+		t.Fatal("no mispredicts on an adversarial pattern")
+	}
+	if r.FetchRedirectStall == 0 {
+		t.Error("mispredicts never stalled fetch")
+	}
+	perfect := []workload.Inst{{Class: workload.Branch, PC: 0x400100, Taken: true}}
+	rp := run(t, Config{RedirectPenalty: 20}, perfect, 20000, 0)
+	if rp.IPC <= r.IPC {
+		t.Errorf("predictable branches (%v) not faster than adversarial (%v)", rp.IPC, r.IPC)
+	}
+}
+
+func TestStoresDoNotBlockCommit(t *testing.T) {
+	// Stores with huge memory latency must not serialise the pipeline
+	// (store-buffer semantics).
+	stores := []workload.Inst{
+		{Class: workload.Store, Addr: 0x1000},
+		{Class: workload.IntALU},
+		{Class: workload.IntALU},
+		{Class: workload.IntALU},
+	}
+	r := run(t, Config{}, stores, 20000, 500)
+	if r.IPC < 2.0 {
+		t.Errorf("IPC = %v: stores blocked the pipeline", r.IPC)
+	}
+	if r.Stores != 5000 {
+		t.Errorf("stores = %d", r.Stores)
+	}
+}
+
+func TestMemoryLatencyHurtsIPC(t *testing.T) {
+	mix := []workload.Inst{
+		{Class: workload.Load, Addr: 0x1000, Dep1: 1},
+		{Class: workload.IntALU, Dep1: 1},
+		{Class: workload.IntALU, Dep1: 1},
+	}
+	fast := run(t, Config{}, mix, 20000, 2)
+	slow := run(t, Config{}, mix, 20000, 150)
+	if slow.IPC >= fast.IPC/2 {
+		t.Errorf("150-cycle loads IPC %v vs 2-cycle %v: latency not felt", slow.IPC, fast.IPC)
+	}
+}
+
+func TestResultBookkeeping(t *testing.T) {
+	mix := []workload.Inst{
+		{Class: workload.Load, Addr: 0x1000},
+		{Class: workload.Store, Addr: 0x2000},
+		{Class: workload.Branch, PC: 0x400000, Taken: true},
+		{Class: workload.IntALU},
+	}
+	r := run(t, Config{}, mix, 4000, 1)
+	if r.Instructions != 4000 || r.Loads != 1000 || r.Stores != 1000 || r.Branches != 1000 {
+		t.Errorf("result = %+v", r)
+	}
+	if r.Cycles <= 0 || r.IPC <= 0 {
+		t.Errorf("timing = %+v", r)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	g1 := workload.New(workload.MustSpec2000("gzip"), 7)
+	g2 := workload.New(workload.MustSpec2000("gzip"), 7)
+	c1 := New(Config{}, &fixedMem{latency: 10})
+	c2 := New(Config{}, &fixedMem{latency: 10})
+	r1 := c1.Run(g1, 50000)
+	r2 := c2.Run(g2, 50000)
+	if r1 != r2 {
+		t.Errorf("non-deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestOnLoadRetireCriticality(t *testing.T) {
+	// Serially dependent long-latency loads are critical; loads buried in
+	// abundant independent compute are not.
+	type sample struct {
+		criticals, total int
+	}
+	run := func(insts []workload.Inst, lat int64) sample {
+		var s sample
+		cfg := Config{OnLoadRetire: func(pc uint64, critical bool) {
+			s.total++
+			if critical {
+				s.criticals++
+			}
+		}}
+		core := New(cfg, &fixedMem{latency: lat})
+		core.Run(&scriptGen{insts: insts}, 20000)
+		return s
+	}
+
+	chase := run([]workload.Inst{{Class: workload.Load, Addr: 0x1000, Dep1: 1, PC: 0x10}}, 200)
+	if chase.total == 0 || float64(chase.criticals)/float64(chase.total) < 0.9 {
+		t.Errorf("dependent loads: %d/%d critical, want nearly all", chase.criticals, chase.total)
+	}
+
+	buried := run([]workload.Inst{
+		{Class: workload.Load, Addr: 0x1000, PC: 0x20},
+		{Class: workload.IntALU}, {Class: workload.IntALU}, {Class: workload.IntALU},
+		{Class: workload.IntALU}, {Class: workload.IntALU}, {Class: workload.IntALU},
+		{Class: workload.IntALU},
+	}, 1)
+	if buried.total == 0 || float64(buried.criticals)/float64(buried.total) > 0.5 {
+		t.Errorf("fast loads: %d/%d critical, want few", buried.criticals, buried.total)
+	}
+}
+
+func TestRunMeasuredSubtractsWarmup(t *testing.T) {
+	g1 := workload.New(workload.MustSpec2000("gzip"), 5)
+	core := New(Config{}, &fixedMem{latency: 5})
+	r := core.RunMeasured(g1, 30_000, 60_000, nil)
+	if r.Instructions != 60_000 {
+		t.Errorf("instructions = %d, want measured-only", r.Instructions)
+	}
+	if r.Cycles <= 0 {
+		t.Errorf("cycles = %d", r.Cycles)
+	}
+	// A boundary callback must fire exactly once.
+	calls := 0
+	g2 := workload.New(workload.MustSpec2000("gzip"), 5)
+	core2 := New(Config{}, &fixedMem{latency: 5})
+	core2.RunMeasured(g2, 10_000, 10_000, func() { calls++ })
+	if calls != 1 {
+		t.Errorf("boundary callbacks = %d", calls)
+	}
+}
+
+func TestGoldenSchedule(t *testing.T) {
+	// Hand-checked schedule on a 2-wide, 4-entry-window machine with one
+	// ALU-class unit of each kind and a 10-cycle memory:
+	//
+	//   i0 load  : dispatch 0, AGU at 1, mem access at 2 -> done 12
+	//   i1 alu dep(i0): dispatch 0, ready max(1, 12) = 12 -> done 13
+	//   i2 alu   : dispatch 1 (2-wide), ready 2 -> done 3
+	//   i3 alu dep(i1): dispatch 1, ready = done(i1) = 13 -> done 14
+	//
+	// commits (2/cycle, in order): i0@12, i1@13, i2@13, i3@14.
+	cfg := Config{
+		IssueWidth: 2, RUUSize: 4, LSQSize: 4,
+		IntALU: 2, IntMult: 1, FPALU: 1, FPMult: 1, MemPorts: 1,
+	}
+	insts := []workload.Inst{
+		{Class: workload.Load, Addr: 0x1000},
+		{Class: workload.IntALU, Dep1: 1},
+		{Class: workload.IntALU},
+		{Class: workload.IntALU, Dep1: 2},
+	}
+	core := New(cfg, &fixedMem{latency: 10})
+	r := core.Run(&scriptGen{insts: insts}, 4)
+	if r.Cycles != 14 {
+		t.Errorf("cycles = %d, want 14", r.Cycles)
+	}
+	if r.IPC != 4.0/14 {
+		t.Errorf("IPC = %v", r.IPC)
+	}
+}
+
+func TestGoldenIndependentPair(t *testing.T) {
+	// Two independent single-cycle ALU ops dispatch together at cycle 0,
+	// issue at 1, complete at 2, both commit at 2.
+	cfg := Config{IssueWidth: 2, RUUSize: 4, LSQSize: 4,
+		IntALU: 2, IntMult: 1, FPALU: 1, FPMult: 1, MemPorts: 1}
+	core := New(cfg, &fixedMem{})
+	r := core.Run(&scriptGen{insts: []workload.Inst{{Class: workload.IntALU}}}, 2)
+	if r.Cycles != 2 {
+		t.Errorf("cycles = %d, want 2", r.Cycles)
+	}
+}

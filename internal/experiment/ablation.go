@@ -1,0 +1,247 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tagprefetch/internal/branch"
+	"tagprefetch/internal/core"
+	"tagprefetch/internal/sim"
+	"tagprefetch/internal/stats"
+)
+
+// meanIPC runs f over all of o's benches and returns the geomean IPC.
+func meanIPC(o Options, f sim.Factory) float64 {
+	cfg := o.simConfig()
+	var ipcs []float64
+	for _, b := range o.Benches {
+		ipcs = append(ipcs, sim.MustRun(b, f, cfg).IPC())
+	}
+	return stats.Geomean(ipcs)
+}
+
+// AblationTHTDepth (A1) sweeps the THT history depth k (1-4 tags per row)
+// at the TCP-8K design point. The paper uses k = 2.
+func AblationTHTDepth(o Options) stats.Series {
+	o = o.withDefaults()
+	s := stats.Series{Name: "mean IPC vs THT depth k (8KB PHT, shared)"}
+	for k := 1; k <= 4; k++ {
+		f := sim.Custom(fmt.Sprintf("tcp-8K/k%d", k), core.Config{
+			HistoryDepth: k, PHTSets: 256, PHTWays: 8,
+		})
+		s.Add(fmt.Sprintf("k=%d", k), meanIPC(o, f))
+	}
+	return s
+}
+
+// AblationPHTAssoc (A2) sweeps PHT associativity at a fixed 8 KB budget
+// (sets x ways x 4 B = 8 KB).
+func AblationPHTAssoc(o Options) stats.Series {
+	o = o.withDefaults()
+	s := stats.Series{Name: "mean IPC vs PHT associativity (8KB budget)"}
+	for _, ways := range []int{1, 2, 4, 8, 16} {
+		sets := 8 * 1024 / 4 / ways
+		f := sim.Custom(fmt.Sprintf("tcp-8K/w%d", ways), core.Config{
+			HistoryDepth: 2, PHTSets: sets, PHTWays: ways,
+		})
+		s.Add(fmt.Sprintf("%d-way", ways), meanIPC(o, f))
+	}
+	return s
+}
+
+// AblationHashing (A3) compares the paper's truncated-addition PHT index
+// hash against a gshare-style XOR fold, at TCP-8K.
+func AblationHashing(o Options) stats.Series {
+	o = o.withDefaults()
+	s := stats.Series{Name: "mean IPC vs PHT hash (8KB PHT)"}
+	for _, h := range []struct {
+		name string
+		kind core.HashKind
+	}{{"trunc-add", core.HashTruncAdd}, {"xor-fold", core.HashXOR}} {
+		f := sim.Custom("tcp-8K/"+h.name, core.Config{
+			HistoryDepth: 2, PHTSets: 256, PHTWays: 8, Hash: h.kind,
+		})
+		s.Add(h.name, meanIPC(o, f))
+	}
+	return s
+}
+
+// AblationMultiTarget (A4) implements the Section 6 future-work question:
+// Markov-style multi-target PHT entries. The byte budget is held at 8 KB,
+// so more targets mean fewer entries.
+func AblationMultiTarget(o Options) stats.Series {
+	o = o.withDefaults()
+	s := stats.Series{Name: "mean IPC vs targets/entry (8KB budget)"}
+	for _, m := range []int{1, 2, 4} {
+		entryBytes := 2 * (1 + m) // TagBits=16 -> 2B per stored tag
+		sets := 8 * 1024 / entryBytes / 8
+		f := sim.Custom(fmt.Sprintf("tcp-8K/t%d", m), core.Config{
+			HistoryDepth: 2, PHTSets: pow2Floor(sets), PHTWays: 8, Targets: m,
+		})
+		s.Add(fmt.Sprintf("%d-target", m), meanIPC(o, f))
+	}
+	return s
+}
+
+func pow2Floor(v int) int {
+	p := 1
+	for p*2 <= v {
+		p *= 2
+	}
+	return p
+}
+
+// AblationClassicBaselines (A5) compares TCP-8K against the classic
+// prefetchers the paper discusses in related work: stride (Baer-Chen),
+// stream buffers (Jouppi), Markov (Joseph-Grunwald) and next-line.
+func AblationClassicBaselines(o Options) *stats.Table {
+	o = o.withDefaults()
+	cfg := o.simConfig()
+	factories := []sim.Factory{
+		sim.NextLine(), sim.Stride(), sim.StreamBuffers(), sim.Markov(),
+		sim.GHB(), sim.TCP8K(),
+	}
+	t := stats.NewTable("Ablation A5: TCP-8K vs classic prefetchers (IPC improvement)",
+		append([]string{"bench", "base IPC"}, factoryNames(factories)...)...)
+	sums := make([][]float64, len(factories))
+	for _, b := range o.Benches {
+		base := sim.MustRun(b, sim.NoPrefetch(), cfg)
+		row := []string{b, fmt.Sprintf("%.3f", base.IPC())}
+		for fi, f := range factories {
+			r := sim.MustRun(b, f, cfg)
+			imp := sim.Improvement(r, base)
+			sums[fi] = append(sums[fi], 1+imp)
+			row = append(row, stats.Percent(imp))
+		}
+		t.AddRow(row...)
+	}
+	grow := []string{"geomean", ""}
+	for fi := range factories {
+		grow = append(grow, stats.Percent(stats.Geomean(sums[fi])-1))
+	}
+	t.AddRow(grow...)
+	return t
+}
+
+// AblationCriticalFilter (A6) measures the Section 6 critical-miss filter:
+// TCP-8K with and without gating prefetch issue behind the PC-criticality
+// predictor trained at load retirement.
+func AblationCriticalFilter(o Options) *stats.Table {
+	o = o.withDefaults()
+	cfg := o.simConfig()
+	plain := sim.TCP8K()
+	filtered := sim.WithCriticalFilter(sim.TCP8K())
+
+	t := stats.NewTable("Ablation A6: critical-miss filter on TCP-8K",
+		"bench", "tcp-8K IPC", "tcp-8K+cf IPC", "prefetches", "prefetches+cf")
+	for _, b := range o.Benches {
+		rp := sim.MustRun(b, plain, cfg)
+		rf := sim.MustRun(b, filtered, cfg)
+		t.AddRow(b, fmt.Sprintf("%.3f", rp.IPC()), fmt.Sprintf("%.3f", rf.IPC()),
+			fmt.Sprintf("%d", rp.Mem.PrefetchIssued), fmt.Sprintf("%d", rf.Mem.PrefetchIssued))
+	}
+	return t
+}
+
+// AblationStrideAssist (A7) measures the Section 6 strided-sequence
+// extension: a small TCP with arithmetic stride prediction versus plain
+// TCPs at the same and at 4x the PHT budget. Stride confirmation needs two
+// equal deltas, so all configurations use a 3-deep THT.
+func AblationStrideAssist(o Options) *stats.Table {
+	o = o.withDefaults()
+	cfg := o.simConfig()
+	factories := []sim.Factory{
+		sim.Custom("tcp-2K", core.Config{HistoryDepth: 3, PHTSets: 64, PHTWays: 8}),
+		sim.Custom("tcp-2K+stride", core.Config{HistoryDepth: 3, PHTSets: 64, PHTWays: 8, StrideAssist: true}),
+		sim.Custom("tcp-8K", core.Config{HistoryDepth: 3, PHTSets: 256, PHTWays: 8}),
+		sim.Custom("tcp-8K+stride", core.Config{HistoryDepth: 3, PHTSets: 256, PHTWays: 8, StrideAssist: true}),
+	}
+	t := stats.NewTable("Ablation A7: strided-sequence assist (Section 6)",
+		append([]string{"bench", "base IPC"}, factoryNames(factories)...)...)
+	sums := make([][]float64, len(factories))
+	for _, b := range o.Benches {
+		base := sim.MustRun(b, sim.NoPrefetch(), cfg)
+		row := []string{b, fmt.Sprintf("%.3f", base.IPC())}
+		for fi, f := range factories {
+			r := sim.MustRun(b, f, cfg)
+			imp := sim.Improvement(r, base)
+			sums[fi] = append(sums[fi], 1+imp)
+			row = append(row, stats.Percent(imp))
+		}
+		t.AddRow(row...)
+	}
+	grow := []string{"geomean", ""}
+	for fi := range factories {
+		grow = append(grow, stats.Percent(stats.Geomean(sums[fi])-1))
+	}
+	t.AddRow(grow...)
+	return t
+}
+
+// AblationPlacement (A8) measures the paper's placement argument
+// (Section 4 / Figure 10): the same TCP-8K observing the L1 miss stream at
+// the L1/L2 boundary versus observing the (sparser, more filtered) L2 miss
+// stream at the L2/memory boundary.
+func AblationPlacement(o Options) *stats.Table {
+	o = o.withDefaults()
+	cfg := o.simConfig()
+	factories := []sim.Factory{sim.TCP8K(), sim.AtL2Boundary(sim.TCP8K())}
+	t := stats.NewTable("Ablation A8: prefetcher placement (L1/L2 vs L2/memory boundary)",
+		append([]string{"bench", "base IPC"}, factoryNames(factories)...)...)
+	sums := make([][]float64, len(factories))
+	for _, b := range o.Benches {
+		base := sim.MustRun(b, sim.NoPrefetch(), cfg)
+		row := []string{b, fmt.Sprintf("%.3f", base.IPC())}
+		for fi, f := range factories {
+			r := sim.MustRun(b, f, cfg)
+			imp := sim.Improvement(r, base)
+			sums[fi] = append(sums[fi], 1+imp)
+			row = append(row, stats.Percent(imp))
+		}
+		t.AddRow(row...)
+	}
+	grow := []string{"geomean", ""}
+	for fi := range factories {
+		grow = append(grow, stats.Percent(stats.Geomean(sums[fi])-1))
+	}
+	t.AddRow(grow...)
+	return t
+}
+
+// AblationBranchPredictors (A9) measures how sensitive the machine (and so
+// the prefetching results) is to the front-end predictor — the two-level
+// family the paper cites as TCP's structural ancestor.
+func AblationBranchPredictors(o Options) stats.Series {
+	o = o.withDefaults()
+	s := stats.Series{Name: "mean baseline IPC vs branch predictor"}
+	preds := []struct {
+		name string
+		make func() branch.Predictor
+	}{
+		{"always-taken", func() branch.Predictor { return branch.Static{Taken: true} }},
+		{"bimodal", func() branch.Predictor { return branch.NewBimodal(12) }},
+		{"gshare", func() branch.Predictor { return branch.NewGShare(12, 8) }},
+		{"PAg", func() branch.Predictor { return branch.NewPAg(10, 8, 12) }},
+		{"combining", func() branch.Predictor {
+			return branch.NewCombining(branch.NewBimodal(12), branch.NewGShare(12, 8), 10)
+		}},
+	}
+	cfg := o.simConfig()
+	for _, p := range preds {
+		var ipcs []float64
+		for _, b := range o.Benches {
+			c := cfg
+			c.CPU.Predictor = p.make()
+			ipcs = append(ipcs, sim.MustRun(b, sim.NoPrefetch(), c).IPC())
+		}
+		s.Add(p.name, stats.Geomean(ipcs))
+	}
+	return s
+}
+
+func factoryNames(fs []sim.Factory) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name
+	}
+	return out
+}

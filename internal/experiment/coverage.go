@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tagprefetch/internal/addr"
+	"tagprefetch/internal/coverage"
+	"tagprefetch/internal/cpu"
+	"tagprefetch/internal/memsys"
+	"tagprefetch/internal/prefetch"
+	"tagprefetch/internal/sim"
+	"tagprefetch/internal/stats"
+	"tagprefetch/internal/trace"
+	"tagprefetch/internal/workload"
+)
+
+// missTap records the measured-window miss stream for offline replay.
+type missTap struct {
+	buf   *trace.Buffer
+	armed bool
+}
+
+func (t *missTap) Name() string { return "misstap" }
+
+func (t *missTap) OnMiss(m trace.Miss) []prefetch.Request {
+	if t.armed {
+		t.buf.Record(m)
+	}
+	return nil
+}
+
+func (t *missTap) OnAccess(addr.Addr, addr.Addr, int64, bool) []prefetch.Request { return nil }
+func (t *missTap) OnEvict(addr.Addr, int64, int64, int64)                        {}
+func (t *missTap) StorageBits() uint64                                           { return 0 }
+func (t *missTap) Reset()                                                        {}
+
+// CaptureMisses runs one benchmark without prefetching and returns its
+// measured-window L1 miss stream (capped at capRecords; 0 = unbounded).
+func CaptureMisses(bench string, o Options, capRecords int) ([]trace.Miss, error) {
+	o = o.withDefaults()
+	spec, err := workload.Spec2000(bench)
+	if err != nil {
+		return nil, err
+	}
+	memCfg := memsys.DefaultConfig()
+	tap := &missTap{buf: trace.NewBuffer(capRecords), armed: o.Warmup == 0}
+	mem := memsys.New(memCfg, tap)
+	core := cpu.New(cpu.Config{}, mem)
+	core.RunMeasured(workload.New(spec, o.Seed), o.Warmup, o.Instructions,
+		func() { tap.armed = true })
+	return tap.buf.Misses, nil
+}
+
+// CoverageComparison replays each benchmark's captured miss stream through
+// every factory's prefetcher and reports coverage (misses predicted ahead
+// of time) and accuracy (predictions that come true) — the predictor-
+// quality view that complements the IPC results of Figure 11.
+func CoverageComparison(o Options, factories ...sim.Factory) *stats.Table {
+	o = o.withDefaults()
+	if len(factories) == 0 {
+		factories = []sim.Factory{sim.DBCP2M(), sim.TCP8K(), sim.TCP8M()}
+	}
+	headers := []string{"bench", "misses"}
+	for _, f := range factories {
+		headers = append(headers, f.Name+" cov", f.Name+" acc")
+	}
+	t := stats.NewTable("Prefetcher coverage and accuracy on the L1 miss stream", headers...)
+	geom := memsys.DefaultConfig().L1D
+	for _, b := range o.Benches {
+		misses, err := CaptureMisses(b, o, 0)
+		if err != nil {
+			panic(err)
+		}
+		row := []string{b, fmt.Sprintf("%d", len(misses))}
+		for _, f := range factories {
+			pf, _ := f.Build(geom)
+			r := coverage.Replay(geom, pf, misses, 512)
+			row = append(row, stats.Percent(r.Coverage()), stats.Percent(r.Accuracy()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

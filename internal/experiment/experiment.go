@@ -1,0 +1,232 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation: the machine configuration (Table 1), the ideal-L2 potential
+// study (Figure 1), the tag/address/sequence locality characterisation
+// (Figures 2-7 and 15), the TCP-vs-DBCP IPC comparison (Figure 11), the L2
+// traffic breakdown (Figure 12), the PHT design-space sweeps (Figure 13),
+// and the hybrid L1-prefetching comparison (Figure 14) — plus the ablation
+// studies listed in DESIGN.md §4.
+//
+// Each experiment returns printable tables/series; EXPERIMENTS.md records a
+// reference run against the paper's numbers.
+package experiment
+
+import (
+	"fmt"
+
+	"tagprefetch/internal/cpu"
+	"tagprefetch/internal/memsys"
+	"tagprefetch/internal/sim"
+	"tagprefetch/internal/stats"
+	"tagprefetch/internal/workload"
+)
+
+// Options control experiment scale. The zero value gives the reference
+// configuration used in EXPERIMENTS.md.
+type Options struct {
+	// Instructions measured per run (default 1e6).
+	Instructions uint64
+	// Warmup instructions before measurement (default 2e6 — long enough
+	// for every workload model's streams to complete at least one pass;
+	// the analogue of the paper's 1-billion-instruction skip).
+	Warmup uint64
+	// Seed for the workload models (default 1).
+	Seed uint64
+	// Benches restricts the benchmark set (default: all 26 in paper order).
+	Benches []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Instructions == 0 {
+		o.Instructions = 1_000_000
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 2_000_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Benches) == 0 {
+		o.Benches = workload.Names()
+	}
+	return o
+}
+
+func (o Options) simConfig() sim.Config {
+	return sim.Config{Instructions: o.Instructions, Warmup: o.Warmup, Seed: o.Seed}
+}
+
+// Table1 renders the simulated machine configuration (paper Table 1).
+func Table1() *stats.Table {
+	mc := memsys.DefaultConfig()
+	cc := cpu.DefaultConfig()
+	t := stats.NewTable("Table 1: configuration of simulated processor", "parameter", "value")
+	t.AddRow("instruction window", fmt.Sprintf("%d-RUU, %d-LSQ", cc.RUUSize, cc.LSQSize))
+	t.AddRow("issue width", fmt.Sprintf("%d instructions per cycle", cc.IssueWidth))
+	t.AddRow("functional units", fmt.Sprintf("%d IntALU, %d IntMult/Div, %d FPALU, %d FPMult/Div, %d Load/Store",
+		cc.IntALU, cc.IntMult, cc.FPALU, cc.FPMult, cc.MemPorts))
+	t.AddRow("L1 dcache", fmt.Sprintf("%dKB, %d-way, %dB blocks, %d MSHRs",
+		mc.L1D.SizeBytes()/1024, mc.L1D.Ways(), mc.L1D.BlockBytes(), mc.MSHRs))
+	t.AddRow("L1/L2 bus", fmt.Sprintf("%d-byte wide, core clock", mc.L1L2BusBytes))
+	t.AddRow("L2", fmt.Sprintf("%dMB, %d-way LRU, %dB blocks, %d-cycle latency",
+		mc.L2.SizeBytes()>>20, mc.L2.Ways(), mc.L2.BlockBytes(), mc.L2Latency))
+	t.AddRow("memory latency", fmt.Sprintf("%d cycles", mc.MemLatency))
+	return t
+}
+
+// runPair runs base (no prefetch) and one factory over all benches,
+// returning the two result sets in bench order.
+func runPair(o Options, f sim.Factory) (base, with []sim.Result) {
+	cfg := o.simConfig()
+	for _, b := range o.Benches {
+		base = append(base, sim.MustRun(b, sim.NoPrefetch(), cfg))
+		with = append(with, sim.MustRun(b, f, cfg))
+	}
+	return base, with
+}
+
+// Fig01IdealL2 reproduces Figure 1: per-benchmark IPC improvement with an
+// ideal L2 data cache (every L2 access hits), sorted in the paper's order.
+func Fig01IdealL2(o Options) *stats.Table {
+	o = o.withDefaults()
+	cfg := o.simConfig()
+	idealCfg := cfg
+	idealCfg.Mem.IdealL2 = true
+
+	t := stats.NewTable("Figure 1: potential IPC improvement with an ideal L2 data cache",
+		"bench", "base IPC", "ideal IPC", "improvement")
+	var imps []float64
+	for _, b := range o.Benches {
+		base := sim.MustRun(b, sim.NoPrefetch(), cfg)
+		ideal := sim.MustRun(b, sim.NoPrefetch(), idealCfg)
+		imp := sim.Improvement(ideal, base)
+		imps = append(imps, 1+imp)
+		t.AddRow(b, fmt.Sprintf("%.3f", base.IPC()),
+			fmt.Sprintf("%.3f", ideal.IPC()), stats.Percent(imp))
+	}
+	t.AddRow("geomean", "", "", stats.Percent(stats.Geomean(imps)-1))
+	return t
+}
+
+// Fig11IPC reproduces Figure 11: IPC improvement of TCP-8K and TCP-8M vs a
+// DBCP with a 2 MB correlation table, over the no-prefetch baseline.
+func Fig11IPC(o Options) *stats.Table {
+	o = o.withDefaults()
+	cfg := o.simConfig()
+	factories := []sim.Factory{sim.DBCP2M(), sim.TCP8K(), sim.TCP8M()}
+
+	t := stats.NewTable("Figure 11: IPC improvement, DBCP-2M vs TCP-8K vs TCP-8M",
+		"bench", "base IPC", "dbcp-2M", "tcp-8K", "tcp-8M")
+	sums := make([][]float64, len(factories))
+	for _, b := range o.Benches {
+		base := sim.MustRun(b, sim.NoPrefetch(), cfg)
+		row := []string{b, fmt.Sprintf("%.3f", base.IPC())}
+		for fi, f := range factories {
+			r := sim.MustRun(b, f, cfg)
+			imp := sim.Improvement(r, base)
+			sums[fi] = append(sums[fi], 1+imp)
+			row = append(row, stats.Percent(imp))
+		}
+		t.AddRow(row...)
+	}
+	grow := []string{"geomean", ""}
+	for fi := range factories {
+		grow = append(grow, stats.Percent(stats.Geomean(sums[fi])-1))
+	}
+	t.AddRow(grow...)
+	return t
+}
+
+// Fig12Traffic reproduces Figure 12: the composition of L2 accesses —
+// prefetched original, non-prefetched original, and prefetched extra — for
+// TCP-8K and TCP-8M, normalised to the original (no-prefetch) L2 accesses.
+func Fig12Traffic(o Options) *stats.Table {
+	o = o.withDefaults()
+	cfg := o.simConfig()
+
+	t := stats.NewTable("Figure 12: L2 access categories (normalised to original L2 accesses)",
+		"bench", "config", "prefetched original", "non-prefetched original", "prefetched extra")
+	for _, f := range []sim.Factory{sim.TCP8K(), sim.TCP8M()} {
+		for _, b := range o.Benches {
+			r := sim.MustRun(b, f, cfg)
+			den := float64(r.Mem.L2Demand)
+			if den == 0 {
+				den = 1
+			}
+			t.AddRow(b, f.Name,
+				stats.Percent(float64(r.Mem.PrefetchedOriginal)/den),
+				stats.Percent(float64(r.Mem.NonPrefetchedOriginal)/den),
+				stats.Percent(float64(r.Mem.PrefetchedExtra)/den))
+		}
+	}
+	return t
+}
+
+// PHTSizes is the Figure 13 (top) sweep: 2 KB to 8 MB.
+var PHTSizes = []int{2 << 10, 8 << 10, 32 << 10, 128 << 10, 512 << 10, 2 << 20, 8 << 20}
+
+// Fig13PHTSize reproduces Figure 13 (top): mean SPEC2000 IPC vs PHT size,
+// for PHTs indexed with no miss-index bits and with the full miss index.
+func Fig13PHTSize(o Options) []stats.Series {
+	o = o.withDefaults()
+	cfg := o.simConfig()
+	out := make([]stats.Series, 2)
+	out[0].Name = "PHT index using 0 bits from miss index"
+	out[1].Name = "PHT index using full miss index"
+	for _, size := range PHTSizes {
+		for vi, nbits := range []int{0, 10} {
+			f := sim.TCPWithPHT(size, nbits, false)
+			var ipcs []float64
+			for _, b := range o.Benches {
+				ipcs = append(ipcs, sim.MustRun(b, f, cfg).IPC())
+			}
+			out[vi].Add(sizeName(size), stats.Geomean(ipcs))
+		}
+	}
+	return out
+}
+
+func sizeName(b int) string {
+	if b >= 1<<20 {
+		return fmt.Sprintf("%dMB", b>>20)
+	}
+	return fmt.Sprintf("%dKB", b>>10)
+}
+
+// Fig13IndexBits reproduces Figure 13 (bottom): mean SPEC2000 IPC of an
+// 8 KB PHT with 0-3 miss-index bits in the PHT index.
+func Fig13IndexBits(o Options) stats.Series {
+	o = o.withDefaults()
+	cfg := o.simConfig()
+	s := stats.Series{Name: "mean IPC vs miss-index bits (8KB PHT)"}
+	for bits := 0; bits <= 3; bits++ {
+		f := sim.TCPWithPHT(8<<10, bits, false)
+		var ipcs []float64
+		for _, b := range o.Benches {
+			ipcs = append(ipcs, sim.MustRun(b, f, cfg).IPC())
+		}
+		s.Add(fmt.Sprintf("n=%d", bits), stats.Geomean(ipcs))
+	}
+	return s
+}
+
+// Fig14Hybrid reproduces Figure 14: prefetching into L2 only (TCP-8K) vs
+// the hybrid that also promotes into L1 once the victim is predicted dead.
+func Fig14Hybrid(o Options) *stats.Table {
+	o = o.withDefaults()
+	cfg := o.simConfig()
+
+	t := stats.NewTable("Figure 14: prefetch into L2 (TCP-8K) vs into L1 (Hybrid-8K)",
+		"bench", "base IPC", "tcp-8K", "hybrid-8K")
+	var k, h []float64
+	for _, b := range o.Benches {
+		base := sim.MustRun(b, sim.NoPrefetch(), cfg)
+		rk := sim.MustRun(b, sim.TCP8K(), cfg)
+		rh := sim.MustRun(b, sim.Hybrid8K(), cfg)
+		ik, ih := sim.Improvement(rk, base), sim.Improvement(rh, base)
+		k = append(k, 1+ik)
+		h = append(h, 1+ih)
+		t.AddRow(b, fmt.Sprintf("%.3f", base.IPC()), stats.Percent(ik), stats.Percent(ih))
+	}
+	t.AddRow("geomean", "", stats.Percent(stats.Geomean(k)-1), stats.Percent(stats.Geomean(h)-1))
+	return t
+}

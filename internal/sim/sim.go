@@ -1,0 +1,286 @@
+// Package sim couples the out-of-order core, the memory hierarchy, a
+// prefetcher and a workload model into one runnable system — the simulated
+// machine of Table 1 — and provides the named prefetcher configurations the
+// paper evaluates (TCP-8K, TCP-8M, Hybrid-8K, DBCP-2M) plus the classic
+// baselines used by the ablation benches.
+package sim
+
+import (
+	"fmt"
+
+	"tagprefetch/internal/addr"
+	"tagprefetch/internal/cache"
+	"tagprefetch/internal/core"
+	"tagprefetch/internal/cpu"
+	"tagprefetch/internal/critical"
+	"tagprefetch/internal/dbcp"
+	"tagprefetch/internal/deadblock"
+	"tagprefetch/internal/memsys"
+	"tagprefetch/internal/prefetch"
+	"tagprefetch/internal/workload"
+)
+
+// Config parameterises one simulation run. Zero fields take Table 1
+// defaults.
+type Config struct {
+	CPU cpu.Config
+	Mem memsys.Config
+
+	// Instructions is the number of measured dynamic instructions
+	// (default 1e6). The paper measures 2e9 per benchmark; our synthetic
+	// workloads are stationary, so shapes stabilise much earlier.
+	Instructions uint64
+	// Warmup instructions run before measurement begins — the analogue of
+	// the paper's 1-billion-instruction skip (default Instructions/2).
+	// Set negative-like behaviour by NoWarmup.
+	Warmup uint64
+	// NoWarmup disables the warmup default (measure from a cold machine).
+	NoWarmup bool
+	// Seed drives all pseudo-random workload choices (default 1).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Instructions == 0 {
+		c.Instructions = 1_000_000
+	}
+	if c.Warmup == 0 && !c.NoWarmup {
+		c.Warmup = c.Instructions / 2
+	}
+	if c.NoWarmup {
+		c.Warmup = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Factory names and builds a prefetcher configuration for a given L1.
+type Factory struct {
+	// Name labels rows in experiment tables ("tcp-8K", "dbcp-2M", ...).
+	Name string
+	// Build constructs the prefetcher. hybrid reports whether the system
+	// must attach a dead-block predictor and dedicated prefetch bus
+	// (Section 5.2.2's Hybrid scheme).
+	Build func(l1 addr.Geometry) (pf prefetch.Prefetcher, hybrid bool)
+	// CriticalFilter gates prefetch issue behind the PC-criticality
+	// predictor trained by the core at load retirement (the Section 6
+	// critical-miss filter).
+	CriticalFilter bool
+	// AtL2 places the prefetcher at the L2/memory boundary instead of the
+	// paper's L1/L2 placement: Build receives the L2 geometry and the
+	// prefetcher observes demand L2 misses (placement ablation A8).
+	AtL2 bool
+}
+
+// AtL2Boundary re-homes a factory to the L2/memory boundary (ablation A8).
+func AtL2Boundary(inner Factory) Factory {
+	inner.Name += "@l2"
+	inner.AtL2 = true
+	return inner
+}
+
+// WithCriticalFilter wraps a factory so its prefetches are gated by a
+// critical-miss predictor (Section 6 future work; ablation A6).
+func WithCriticalFilter(inner Factory) Factory {
+	inner.Name += "+cf"
+	inner.CriticalFilter = true
+	return inner
+}
+
+// NoPrefetch is the no-prefetcher baseline factory.
+func NoPrefetch() Factory {
+	return Factory{Name: "none", Build: func(addr.Geometry) (prefetch.Prefetcher, bool) {
+		return prefetch.None{}, false
+	}}
+}
+
+// TCPWithPHT builds a TCP whose PHT has the given byte budget (at the
+// paper's 4-byte entries, 8-way) and miss-index bits. toL1 selects the
+// hybrid scheme.
+func TCPWithPHT(phtBytes, indexBits int, toL1 bool) Factory {
+	sets := phtBytes / (8 * 4)
+	if sets < 1 {
+		sets = 1
+	}
+	name := fmt.Sprintf("tcp-%s", sizeLabel(phtBytes))
+	if indexBits > 0 {
+		name = fmt.Sprintf("%s/n%d", name, indexBits)
+	}
+	if toL1 {
+		name = fmt.Sprintf("hybrid-%s", sizeLabel(phtBytes))
+	}
+	return Factory{Name: name, Build: func(l1 addr.Geometry) (prefetch.Prefetcher, bool) {
+		cfg := core.Config{L1: l1, HistoryDepth: 2, PHTSets: sets, PHTWays: 8,
+			IndexBits: indexBits, PrefetchToL1: toL1}
+		return core.New(cfg), toL1
+	}}
+}
+
+func sizeLabel(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dM", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dK", b>>10)
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// TCP8K is the paper's realistic design point (Figure 11).
+func TCP8K() Factory { return TCPWithPHT(8*1024, 0, false) }
+
+// TCP8M is the paper's idealised private-history point (Figure 11).
+func TCP8M() Factory {
+	f := TCPWithPHT(8*1024*1024, 10, false)
+	f.Name = "tcp-8M"
+	return f
+}
+
+// Hybrid8K is TCP-8K prefetching into L1 gated by the timekeeping
+// dead-block predictor over a dedicated prefetch bus (Figure 14).
+func Hybrid8K() Factory { return TCPWithPHT(8*1024, 0, true) }
+
+// DBCP2M is the Lai et al. dead-block correlating prefetcher with a 2 MB
+// table (Figure 11's comparison point).
+func DBCP2M() Factory {
+	return Factory{Name: "dbcp-2M", Build: func(l1 addr.Geometry) (prefetch.Prefetcher, bool) {
+		return dbcp.New(dbcp.DBCP2M(l1)), false
+	}}
+}
+
+// Stride is the Baer-Chen reference-prediction-table baseline.
+func Stride() Factory {
+	return Factory{Name: "stride", Build: func(l1 addr.Geometry) (prefetch.Prefetcher, bool) {
+		return prefetch.NewStride(l1, 9, 2), false
+	}}
+}
+
+// StreamBuffers is the Jouppi stream-buffer baseline.
+func StreamBuffers() Factory {
+	return Factory{Name: "stream", Build: func(l1 addr.Geometry) (prefetch.Prefetcher, bool) {
+		return prefetch.NewStreamBuffers(l1, 8, 4), false
+	}}
+}
+
+// Markov is the Joseph-Grunwald Markov-prefetcher baseline (1 MB-class).
+func Markov() Factory {
+	return Factory{Name: "markov", Build: func(l1 addr.Geometry) (prefetch.Prefetcher, bool) {
+		return prefetch.NewMarkov(15, 4, 2), false
+	}}
+}
+
+// GHB is the Nesbit-Smith global-history-buffer prefetcher (PC/DC), the
+// canonical correlation-prefetcher organisation that followed the paper.
+func GHB() Factory {
+	return Factory{Name: "ghb-pc/dc", Build: func(l1 addr.Geometry) (prefetch.Prefetcher, bool) {
+		return prefetch.NewGHB(l1, 512, 2), false
+	}}
+}
+
+// NextLine is the degree-1 next-line baseline.
+func NextLine() Factory {
+	return Factory{Name: "nextline", Build: func(l1 addr.Geometry) (prefetch.Prefetcher, bool) {
+		return prefetch.NewNextLine(l1, 1), false
+	}}
+}
+
+// Custom wraps an explicit TCP configuration.
+func Custom(name string, cfg core.Config) Factory {
+	return Factory{Name: name, Build: func(l1 addr.Geometry) (prefetch.Prefetcher, bool) {
+		cfg.L1 = l1
+		return core.New(cfg), cfg.PrefetchToL1
+	}}
+}
+
+// Result summarises one simulation.
+type Result struct {
+	Benchmark  string
+	Prefetcher string
+
+	CPU cpu.Result
+	Mem memsys.Stats
+	L1  cache.Stats
+	L2  cache.Stats
+
+	PrefetcherStorageBits uint64
+}
+
+// IPC is shorthand for the achieved instructions per cycle.
+func (r Result) IPC() float64 { return r.CPU.IPC }
+
+// Run simulates the named SPEC2000 model with the given prefetcher factory.
+func Run(bench string, f Factory, cfg Config) (Result, error) {
+	spec, err := workload.Spec2000(bench)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunSpec(spec, f, cfg), nil
+}
+
+// MustRun is Run but panics on unknown benchmarks (experiment tables).
+func MustRun(bench string, f Factory, cfg Config) Result {
+	r, err := Run(bench, f, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// RunSpec simulates an explicit workload spec with the given prefetcher.
+func RunSpec(spec workload.Spec, f Factory, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	memCfg := cfg.Mem.WithDefaults()
+
+	buildGeom := memCfg.L1D
+	if f.AtL2 {
+		buildGeom = memCfg.L2
+	}
+	pf, hybrid := f.Build(buildGeom)
+	if hybrid {
+		memCfg.PrefetchBus = true
+	}
+	if f.CriticalFilter {
+		pred := critical.New(12)
+		pf = prefetch.NewCriticalFiltered(pf, pred)
+		cfg.CPU.OnLoadRetire = pred.Train
+	}
+	var mem *memsys.MemSys
+	if f.AtL2 {
+		mem = memsys.New(memCfg, prefetch.None{})
+		mem.UseL2Prefetcher(pf)
+	} else {
+		mem = memsys.New(memCfg, pf)
+	}
+	if hybrid {
+		mem.UseDeadBlockPredictor(deadblock.New(deadblock.Config{Geom: memCfg.L1D}))
+	}
+	coreM := cpu.New(cfg.CPU, mem)
+	gen := workload.New(spec, cfg.Seed)
+
+	var memAtBoundary memsys.Stats
+	cpuRes := coreM.RunMeasured(gen, cfg.Warmup, cfg.Instructions, func() {
+		memAtBoundary = mem.Stats()
+	})
+	mem.Finish()
+
+	return Result{
+		Benchmark:             spec.Name,
+		Prefetcher:            f.Name,
+		CPU:                   cpuRes,
+		Mem:                   mem.Stats().Sub(memAtBoundary),
+		L1:                    mem.L1Stats(),
+		L2:                    mem.L2Stats(),
+		PrefetcherStorageBits: pf.StorageBits(),
+	}
+}
+
+// Improvement returns the relative IPC improvement of r over base, e.g.
+// 0.14 for a 14% speedup (how the paper reports Figures 11, 13, 14).
+func Improvement(r, base Result) float64 {
+	if base.CPU.IPC == 0 {
+		return 0
+	}
+	return r.CPU.IPC/base.CPU.IPC - 1
+}

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", g)
+	}
+	if g := Geomean([]float64{4}); !almostEqual(g, 4) {
+		t.Errorf("Geomean([4]) = %v", g)
+	}
+	if g := Geomean([]float64{1, 4}); !almostEqual(g, 2) {
+		t.Errorf("Geomean([1,4]) = %v, want 2", g)
+	}
+	if g := Geomean([]float64{2, 8, 4}); !almostEqual(g, 4) {
+		t.Errorf("Geomean([2,8,4]) = %v, want 4", g)
+	}
+	// Zero entries must not collapse the geomean to zero.
+	if g := Geomean([]float64{0, 4}); g <= 0 {
+		t.Errorf("Geomean with zero entry = %v, want > 0", g)
+	}
+}
+
+func TestGeomeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			v := math.Abs(r)
+			if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				continue
+			}
+			// keep values in a sane positive range
+			v = math.Mod(v, 1e6) + 1e-3
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+	if m := Mean([]float64{1, 2, 3}); !almostEqual(m, 2) {
+		t.Errorf("Mean = %v, want 2", m)
+	}
+}
+
+func TestPercentAndRatio(t *testing.T) {
+	if s := Percent(0.14); s != "14.0%" {
+		t.Errorf("Percent = %q", s)
+	}
+	if r := Ratio(3, 0); r != 0 {
+		t.Errorf("Ratio(3,0) = %v, want 0", r)
+	}
+	if r := Ratio(3, 2); !almostEqual(r, 1.5) {
+		t.Errorf("Ratio = %v", r)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "misses"}
+	c.Inc()
+	c.Add(9)
+	if c.N != 10 {
+		t.Errorf("counter = %d, want 10", c.N)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	if h.NumBuckets() != 4 {
+		t.Fatalf("buckets = %d, want 4", h.NumBuckets())
+	}
+	for _, v := range []uint64{0, 5, 9, 10, 50, 99, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Bucket(0) != 3 { // 0,5,9
+		t.Errorf("bucket0 = %d, want 3", h.Bucket(0))
+	}
+	if h.Bucket(1) != 3 { // 10,50,99
+		t.Errorf("bucket1 = %d, want 3", h.Bucket(1))
+	}
+	if h.Bucket(2) != 1 { // 100
+		t.Errorf("bucket2 = %d, want 1", h.Bucket(2))
+	}
+	if h.Bucket(3) != 1 { // 5000
+		t.Errorf("bucket3 = %d, want 1", h.Bucket(3))
+	}
+	if h.Max() != 5000 {
+		t.Errorf("max = %d", h.Max())
+	}
+	if !almostEqual(h.Mean(), float64(0+5+9+10+50+99+100+5000)/8) {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8, 16)
+	for i := 0; i < 100; i++ {
+		h.Observe(uint64(i % 10))
+	}
+	if q := h.Quantile(0); q == 0 && h.Total() > 0 {
+		// quantile 0 returns first non-empty bucket bound; must be >= 1
+		t.Errorf("q0 = %d", q)
+	}
+	if q := h.Quantile(1); q < 8 {
+		t.Errorf("q1 = %d, want >= 8", q)
+	}
+	if q := h.Quantile(0.5); q < 2 || q > 8 {
+		t.Errorf("q0.5 = %d out of expected range", q)
+	}
+	empty := NewHistogram(1)
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %d", q)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty bounds", func() { NewHistogram() })
+	mustPanic("descending bounds", func() { NewHistogram(10, 5) })
+	mustPanic("duplicate bounds", func() { NewHistogram(10, 10) })
+}
+
+func TestRunningMean(t *testing.T) {
+	var r RunningMean
+	if r.Mean() != 0 || r.N() != 0 {
+		t.Fatalf("zero value not empty")
+	}
+	for _, v := range []float64{2, 4, 9} {
+		r.Observe(v)
+	}
+	if !almostEqual(r.Mean(), 5) {
+		t.Errorf("mean = %v", r.Mean())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("min/max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Fig X", "bench", "ipc")
+	tab.AddRowf("swim", 1.25)
+	tab.AddRow("mcf", "0.5", "extra-cell-dropped")
+	tab.AddRow("art") // short row ok
+	out := tab.String()
+	if !strings.Contains(out, "== Fig X ==") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "swim") || !strings.Contains(out, "1.2500") {
+		t.Errorf("missing formatted row:\n%s", out)
+	}
+	if strings.Contains(out, "extra-cell-dropped") {
+		t.Errorf("extra cell not dropped:\n%s", out)
+	}
+	if tab.NumRows() != 3 {
+		t.Errorf("rows = %d", tab.NumRows())
+	}
+	if tab.Title() != "Fig X" {
+		t.Errorf("title = %q", tab.Title())
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 3 rows
+	if len(lines) != 6 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "ipc"
+	s.Add("2KB", 2.5)
+	s.Add("8KB", 2.65)
+	str := s.String()
+	if !strings.Contains(str, "2KB=2.5000") || !strings.Contains(str, "8KB=2.6500") {
+		t.Errorf("series string = %q", str)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("ignored title", "bench", "ipc", "note")
+	tab.AddRow("swim", "1.25", `say "hi", ok`)
+	tab.AddRow("mcf") // short row padded
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "bench,ipc,note\nswim,1.25,\"say \"\"hi\"\", ok\"\nmcf,,\n"
+	if out != want {
+		t.Errorf("csv = %q, want %q", out, want)
+	}
+	if strings.Contains(out, "ignored title") {
+		t.Error("CSV must not contain the title")
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"tagprefetch/internal/addr"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace reader: it must either
+// decode records or fail cleanly, never panic or loop.
+func FuzzReader(f *testing.F) {
+	geo := addr.MustGeometry(32*1024, 1, 32)
+	// Seed with a valid two-record trace and a few corruptions.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(MakeMiss(geo, 0x1000, 0x400000, 1, false)) //nolint:errcheck
+	w.Write(MakeMiss(geo, 0x2000, 0x400004, 2, true))  //nolint:errcheck
+	w.Flush()                                          //nolint:errcheck
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x50, 0x43, 0x54}) // magic only
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data), geo)
+		for i := 0; i < 1<<16; i++ { // bounded: each record consumes 32 bytes
+			_, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // clean failure
+			}
+		}
+	})
+}
