@@ -6,6 +6,11 @@
 //
 // Experiment ids: table1, fig1, fig2 ... fig7, fig11, fig12, fig13a,
 // fig13b, fig14, fig15, coverage, ablations.
+//
+// With -report, tcpfigs instead renders a machine-readable telemetry
+// report produced by `tcpsim -json` or `tcpsweep -json`: per-run headline
+// metrics, sampled time series with phase boundaries, sweep curves and
+// tables.
 package main
 
 import (
@@ -16,7 +21,9 @@ import (
 
 	"tagprefetch/internal/experiment"
 	"tagprefetch/internal/profiler"
+	"tagprefetch/internal/profiling"
 	"tagprefetch/internal/stats"
+	"tagprefetch/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +34,27 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "workload seed")
 		bench = flag.String("benches", "", "comma-separated benchmark subset (default all 26)")
 		asCSV = flag.Bool("csv", false, "emit table experiments as CSV instead of aligned text")
+
+		reportIn   = flag.String("report", "", "render a telemetry report (from tcpsim/tcpsweep -json) instead of running experiments")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcpfigs:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+
+	if *reportIn != "" {
+		if err := renderReport(*reportIn, *asCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "tcpfigs:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	o := experiment.Options{Instructions: *n, Warmup: *warm, Seed: *seed}
 	if *bench != "" {
@@ -114,4 +140,100 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// renderReport prints a telemetry report written by `tcpsim -json` or
+// `tcpsweep -json` as the same table/series text the experiments emit.
+func renderReport(path string, asCSV bool) error {
+	rep, err := telemetry.ReadReportFile(path)
+	if err != nil {
+		return err
+	}
+	emit := func(t *stats.Table) error {
+		if asCSV {
+			return t.WriteCSV(os.Stdout)
+		}
+		t.WriteTo(os.Stdout) //nolint:errcheck
+		fmt.Println()
+		return nil
+	}
+
+	fmt.Printf("report: tool=%s schema=%s runs=%d sweeps=%d tables=%d\n\n",
+		rep.Tool, rep.Schema, len(rep.Runs), len(rep.Sweeps), len(rep.Tables))
+
+	for _, run := range rep.Runs {
+		head := stats.NewTable(
+			fmt.Sprintf("run: %s / %s (n=%d warmup=%d seed=%d)",
+				run.Benchmark, run.Prefetcher, run.Instructions, run.Warmup, run.Seed),
+			"metric", "value")
+		head.AddRowf("ipc", run.IPC)
+		for _, m := range run.Metrics {
+			if strings.HasPrefix(m.Name, "run.") {
+				head.AddRowf(m.Name, m.Value)
+			}
+		}
+		if err := emit(head); err != nil {
+			return err
+		}
+
+		if len(run.Series) > 0 {
+			st := stats.NewTable("sampled time series",
+				"series", "samples", "first", "last", "min", "max")
+			for _, ts := range run.Series {
+				lo, hi := seriesExtrema(ts.Values)
+				first, last := 0.0, 0.0
+				if len(ts.Values) > 0 {
+					first, last = ts.Values[0], ts.Values[len(ts.Values)-1]
+				}
+				st.AddRowf(ts.Name, len(ts.Values), first, last, lo, hi)
+			}
+			if err := emit(st); err != nil {
+				return err
+			}
+		}
+		for _, ph := range run.Phases {
+			fmt.Printf("phase %-8s at cycle %d (instruction %d)\n",
+				ph.Name, ph.Cycle, ph.Instructions)
+		}
+		if run.TraceWritten > 0 || run.TraceDropped > 0 {
+			fmt.Printf("trace: %d events written, %d dropped\n",
+				run.TraceWritten, run.TraceDropped)
+		}
+		fmt.Println()
+	}
+
+	for _, sw := range rep.Sweeps {
+		s := stats.Series{Name: sw.Name, Labels: sw.Labels, Values: sw.Values}
+		fmt.Println(s.String())
+	}
+	if len(rep.Sweeps) > 0 {
+		fmt.Println()
+	}
+
+	for _, td := range rep.Tables {
+		t := stats.NewTable(td.Title, td.Headers...)
+		for _, row := range td.Rows {
+			t.AddRow(row...)
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if rep.GeomeanClamped > 0 {
+		fmt.Printf("warning: %d non-positive geomean inputs were clamped\n",
+			rep.GeomeanClamped)
+	}
+	return nil
+}
+
+func seriesExtrema(vs []float64) (lo, hi float64) {
+	for i, v := range vs {
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
 }

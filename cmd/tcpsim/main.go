@@ -7,6 +7,8 @@
 //	tcpsim -bench mcf -pf tcp8k
 //	tcpsim -bench all -pf none -ideal     # Figure 1's ideal-L2 runs
 //	tcpsim -bench swim -pf tcp -pht 32768 -nbits 2
+//	tcpsim -bench mcf -pf tcp8k -json out.json     # machine-readable report
+//	tcpsim -bench mcf -pf tcp8k -trace ev.jsonl -progress 1
 package main
 
 import (
@@ -16,8 +18,10 @@ import (
 	"strings"
 
 	"tagprefetch/internal/memsys"
+	"tagprefetch/internal/profiling"
 	"tagprefetch/internal/sim"
 	"tagprefetch/internal/stats"
+	"tagprefetch/internal/telemetry"
 	"tagprefetch/internal/workload"
 )
 
@@ -61,8 +65,24 @@ func main() {
 		ideal  = flag.Bool("ideal", false, "ideal L2 (every L2 access hits)")
 		seed   = flag.Uint64("seed", 1, "workload seed")
 		list   = flag.Bool("list", false, "list benchmark models and exit")
+
+		jsonOut    = flag.String("json", "", "write a machine-readable run report (metrics, time series, phases) to this file")
+		sample     = flag.Int64("sample", 10_000, "time-series sampling interval in cycles (with -json/-progress)")
+		traceOut   = flag.String("trace", "", "write structured events (JSONL) to this file")
+		traceLevel = flag.String("trace-level", "info", "minimum event level: debug|info")
+		traceMax   = flag.Uint64("trace-max", 1<<20, "cap on traced events (0 = unlimited)")
+		progress   = flag.Uint64("progress", 0, "print a heartbeat to stderr every N million instructions")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcpsim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, b := range workload.Names() {
@@ -94,11 +114,57 @@ func main() {
 		benches = []string{*bench}
 	}
 
+	// Telemetry is armed only when a consumer asked for it; otherwise every
+	// event goes through the zero-cost no-op tracer and no sampling occurs.
+	telemetryOn := *jsonOut != "" || *traceOut != "" || *progress > 0
+	tracer := telemetry.Nop()
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsim:", err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		lvl, err := telemetry.ParseLevel(*traceLevel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsim:", err)
+			os.Exit(2)
+		}
+		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{
+			MinLevel: lvl, MaxEvents: *traceMax})
+		defer tracer.Flush()
+		telemetry.SetDefault(tracer)
+		defer telemetry.SetDefault(nil)
+	}
+	report := telemetry.NewReport("tcpsim")
+	warmupOf := func() uint64 {
+		if *warm > 0 {
+			return *warm
+		}
+		return *n / 2 // sim.Config's default
+	}
+
 	tab := stats.NewTable(
 		fmt.Sprintf("tcpsim: pf=%s n=%d ideal=%v", f.Name, *n, *ideal),
 		"bench", "IPC", "L1 miss%", "L2 miss%", "pf issued", "pf useful%", "mispred%")
 	for _, b := range benches {
-		r := sim.MustRun(b, f, cfg)
+		runCfg := cfg
+		var run *telemetry.Run
+		if telemetryOn {
+			run = telemetry.NewRun(*sample)
+			run.Tracer = tracer
+			runCfg.Telemetry = run
+			tracer.Emit(telemetry.Event{Type: "run.start",
+				Level: telemetry.LevelInfo, Note: b})
+			if *progress > 0 {
+				installProgress(run.Sampler, b, *progress)
+			}
+		}
+		r := sim.MustRun(b, f, runCfg)
+		if run != nil {
+			report.Runs = append(report.Runs,
+				run.Report(b, f.Name, *n, warmupOf(), *seed, r.IPC()))
+		}
 		useful := 0.0
 		if tot := r.Mem.PrefetchedOriginal + r.Mem.PrefetchedExtra; tot > 0 {
 			useful = float64(r.Mem.PrefetchedOriginal) / float64(tot) * 100
@@ -117,6 +183,34 @@ func main() {
 		)
 	}
 	tab.WriteTo(os.Stdout) //nolint:errcheck
+
+	if *jsonOut != "" {
+		report.GeomeanClamped = stats.GeomeanClampCount()
+		if err := report.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tcpsim: report written to %s\n", *jsonOut)
+	}
+}
+
+// installProgress prints an instructions-retired/IPC heartbeat to stderr
+// every N million instructions, piggybacking on the run's cycle sampler.
+func installProgress(s *telemetry.Sampler, bench string, everyMillion uint64) {
+	every := everyMillion * 1_000_000
+	var next = every
+	s.OnSample(func(cycle int64, instructions uint64, _ []float64) {
+		if instructions < next {
+			return
+		}
+		next += every
+		ipc := 0.0
+		if cycle > 0 {
+			ipc = float64(instructions) / float64(cycle)
+		}
+		fmt.Fprintf(os.Stderr, "tcpsim: %s %dM instructions, %d cycles, IPC %.3f\n",
+			bench, instructions/1_000_000, cycle, ipc)
+	})
 }
 
 func max64(a, b uint64) uint64 {

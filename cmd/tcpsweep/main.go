@@ -5,6 +5,7 @@
 //	tcpsweep -sweep size               # Figure 13 (top)
 //	tcpsweep -sweep nbits              # Figure 13 (bottom)
 //	tcpsweep -sweep k -benches swim    # THT depth on one benchmark
+//	tcpsweep -sweep size -json out.json   # machine-readable sweep curves
 package main
 
 import (
@@ -14,6 +15,9 @@ import (
 	"strings"
 
 	"tagprefetch/internal/experiment"
+	"tagprefetch/internal/profiling"
+	"tagprefetch/internal/stats"
+	"tagprefetch/internal/telemetry"
 )
 
 func main() {
@@ -23,41 +27,73 @@ func main() {
 		warm  = flag.Uint64("warmup", 2_000_000, "warmup instructions per run")
 		seed  = flag.Uint64("seed", 1, "workload seed")
 		bench = flag.String("benches", "", "comma-separated benchmark subset (default all 26)")
+
+		jsonOut    = flag.String("json", "", "write the sweep's curves and tables as a machine-readable report to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcpsweep:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	o := experiment.Options{Instructions: *n, Warmup: *warm, Seed: *seed}
 	if *bench != "" {
 		o.Benches = strings.Split(*bench, ",")
 	}
 
+	report := telemetry.NewReport("tcpsweep")
+	series := func(ss ...stats.Series) {
+		for _, s := range ss {
+			fmt.Println(s.String())
+			report.Sweeps = append(report.Sweeps, telemetry.SweepSeries{
+				Name: s.Name, Labels: s.Labels, Values: s.Values})
+		}
+	}
+	table := func(t *stats.Table) {
+		t.WriteTo(os.Stdout) //nolint:errcheck
+		report.Tables = append(report.Tables, telemetry.TableData{
+			Title: t.Title(), Headers: t.Headers(), Rows: t.Rows()})
+	}
+
 	switch *sweep {
 	case "size":
-		for _, s := range experiment.Fig13PHTSize(o) {
-			fmt.Println(s.String())
-		}
+		series(experiment.Fig13PHTSize(o)...)
 	case "nbits":
-		fmt.Println(experiment.Fig13IndexBits(o).String())
+		series(experiment.Fig13IndexBits(o))
 	case "k":
-		fmt.Println(experiment.AblationTHTDepth(o).String())
+		series(experiment.AblationTHTDepth(o))
 	case "assoc":
-		fmt.Println(experiment.AblationPHTAssoc(o).String())
+		series(experiment.AblationPHTAssoc(o))
 	case "hash":
-		fmt.Println(experiment.AblationHashing(o).String())
+		series(experiment.AblationHashing(o))
 	case "targets":
-		fmt.Println(experiment.AblationMultiTarget(o).String())
+		series(experiment.AblationMultiTarget(o))
 	case "baselines":
-		experiment.AblationClassicBaselines(o).WriteTo(os.Stdout) //nolint:errcheck
+		table(experiment.AblationClassicBaselines(o))
 	case "critfilter":
-		experiment.AblationCriticalFilter(o).WriteTo(os.Stdout) //nolint:errcheck
+		table(experiment.AblationCriticalFilter(o))
 	case "strideassist":
-		experiment.AblationStrideAssist(o).WriteTo(os.Stdout) //nolint:errcheck
+		table(experiment.AblationStrideAssist(o))
 	case "placement":
-		experiment.AblationPlacement(o).WriteTo(os.Stdout) //nolint:errcheck
+		table(experiment.AblationPlacement(o))
 	case "branchpred":
-		fmt.Println(experiment.AblationBranchPredictors(o).String())
+		series(experiment.AblationBranchPredictors(o))
 	default:
 		fmt.Fprintf(os.Stderr, "tcpsweep: unknown sweep %q\n", *sweep)
 		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		report.GeomeanClamped = stats.GeomeanClampCount()
+		if err := report.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tcpsweep: report written to %s\n", *jsonOut)
 	}
 }

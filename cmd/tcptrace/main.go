@@ -17,6 +17,7 @@ import (
 	"tagprefetch/internal/memsys"
 	"tagprefetch/internal/prefetch"
 	"tagprefetch/internal/profiler"
+	"tagprefetch/internal/profiling"
 	"tagprefetch/internal/stats"
 	"tagprefetch/internal/trace"
 	"tagprefetch/internal/workload"
@@ -58,9 +59,19 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "workload seed")
 		out    = flag.String("o", "", "dump the raw miss trace to this file")
 		in     = flag.String("i", "", "analyse an existing trace file instead of simulating")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file")
 		seqLen = flag.Int("k", 3, "tag-sequence length (paper: 3)")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcptrace:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	memCfg := memsys.DefaultConfig()
 	prof := profiler.New(memCfg.L1D, *seqLen)
@@ -104,7 +115,7 @@ func main() {
 		}
 		mem := memsys.New(memCfg, cap)
 		core := cpu.New(cpu.Config{}, mem)
-		core.RunMeasured(workload.New(spec, *seed), *warm, *n, func() { cap.armed = true })
+		core.RunMeasured(workload.New(spec, *seed), *warm, *n, func(int64) { cap.armed = true })
 		if cap.w != nil {
 			fmt.Fprintf(os.Stderr, "tcptrace: wrote %d miss records to %s\n", cap.w.Count(), *out)
 		}

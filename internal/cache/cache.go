@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"tagprefetch/internal/addr"
+	"tagprefetch/internal/telemetry"
 )
 
 // Line is one cache block frame.
@@ -31,10 +32,47 @@ type Cache struct {
 	sets [][]Line
 	tick int64 // recency clock
 
-	stats Stats
+	ctr counters
 }
 
-// Stats counts cache activity. "Demand" excludes prefetch fills.
+// counters are the registry-backed activity metrics; Stats() renders them
+// as the legacy struct view.
+type counters struct {
+	accesses              *telemetry.Counter
+	hits                  *telemetry.Counter
+	misses                *telemetry.Counter
+	hitsOnPrefetch        *telemetry.Counter
+	lateHits              *telemetry.Counter
+	fills                 *telemetry.Counter
+	prefetchFills         *telemetry.Counter
+	evictions             *telemetry.Counter
+	writebacks            *telemetry.Counter
+	unusedPrefetchEvicted *telemetry.Counter
+}
+
+func newCounters() counters {
+	return counters{
+		accesses:              telemetry.NewCounter("accesses", "demand accesses (excludes prefetch fills)"),
+		hits:                  telemetry.NewCounter("hits", "demand hits"),
+		misses:                telemetry.NewCounter("misses", "demand misses"),
+		hitsOnPrefetch:        telemetry.NewCounter("hits_on_prefetch", "demand hits on lines brought in by a prefetch"),
+		lateHits:              telemetry.NewCounter("late_hits", "demand hits on lines whose data was still in flight"),
+		fills:                 telemetry.NewCounter("fills", "demand fills"),
+		prefetchFills:         telemetry.NewCounter("prefetch_fills", "prefetch-initiated fills"),
+		evictions:             telemetry.NewCounter("evictions", "valid lines displaced"),
+		writebacks:            telemetry.NewCounter("writebacks", "dirty victims written back"),
+		unusedPrefetchEvicted: telemetry.NewCounter("unused_prefetch_evicted", "prefetched lines evicted without a demand touch"),
+	}
+}
+
+func (c *counters) metrics() []telemetry.Metric {
+	return []telemetry.Metric{c.accesses, c.hits, c.misses, c.hitsOnPrefetch,
+		c.lateHits, c.fills, c.prefetchFills, c.evictions, c.writebacks,
+		c.unusedPrefetchEvicted}
+}
+
+// Stats is the legacy struct view of the cache counters. "Demand" excludes
+// prefetch fills.
 type Stats struct {
 	Accesses              uint64 // demand accesses
 	Hits                  uint64
@@ -63,7 +101,7 @@ func New(name string, g addr.Geometry) *Cache {
 	for i := range sets {
 		sets[i], backing = backing[:g.Ways():g.Ways()], backing[g.Ways():]
 	}
-	return &Cache{name: name, geom: g, sets: sets}
+	return &Cache{name: name, geom: g, sets: sets, ctr: newCounters()}
 }
 
 // Name returns the cache name.
@@ -72,8 +110,28 @@ func (c *Cache) Name() string { return c.name }
 // Geometry returns the cache geometry.
 func (c *Cache) Geometry() addr.Geometry { return c.geom }
 
-// Stats returns a copy of the activity counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// AttachTelemetry registers the cache's counters into reg (e.g. a view
+// scoped to "memsys.l1"). The tracer is unused: cache-level events are
+// emitted by the memory system, which knows the hierarchy context.
+func (c *Cache) AttachTelemetry(reg *telemetry.Registry, _ *telemetry.Tracer) {
+	reg.Attach(c.ctr.metrics()...)
+}
+
+// Stats returns the activity counters as the legacy struct view.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Accesses:              c.ctr.accesses.Value(),
+		Hits:                  c.ctr.hits.Value(),
+		Misses:                c.ctr.misses.Value(),
+		HitsOnPrefetch:        c.ctr.hitsOnPrefetch.Value(),
+		LateHits:              c.ctr.lateHits.Value(),
+		Fills:                 c.ctr.fills.Value(),
+		PrefetchFills:         c.ctr.prefetchFills.Value(),
+		Evictions:             c.ctr.evictions.Value(),
+		Writebacks:            c.ctr.writebacks.Value(),
+		UnusedPrefetchEvicted: c.ctr.unusedPrefetchEvicted.Value(),
+	}
+}
 
 // AccessResult describes the outcome of a demand access.
 type AccessResult struct {
@@ -104,22 +162,22 @@ func (c *Cache) Access(a addr.Addr, write bool, now int64) AccessResult {
 	idx := c.geom.Index(a)
 	tag := c.geom.Tag(a)
 	res := AccessResult{Index: idx, Tag: tag}
-	c.stats.Accesses++
+	c.ctr.accesses.Inc()
 	set := c.sets[idx]
 	for i := range set {
 		ln := &set[i]
 		if !ln.Valid || ln.Tag != tag {
 			continue
 		}
-		c.stats.Hits++
+		c.ctr.hits.Inc()
 		res.Hit = true
 		res.ReadyAt = now
 		if ln.ReadyAt > now { // in-flight fill: pay remaining latency
 			res.ReadyAt = ln.ReadyAt
-			c.stats.LateHits++
+			c.ctr.lateHits.Inc()
 		}
 		if ln.Prefetched {
-			c.stats.HitsOnPrefetch++
+			c.ctr.hitsOnPrefetch.Inc()
 			res.Prefetched = true
 			ln.Prefetched = false
 		}
@@ -131,7 +189,7 @@ func (c *Cache) Access(a addr.Addr, write bool, now int64) AccessResult {
 		ln.lru = c.tick
 		return res
 	}
-	c.stats.Misses++
+	c.ctr.misses.Inc()
 	return res
 }
 
@@ -155,9 +213,9 @@ func (c *Cache) Fill(a addr.Addr, now, readyAt int64, prefetch bool) Eviction {
 	tag := c.geom.Tag(a)
 	set := c.sets[idx]
 	if prefetch {
-		c.stats.PrefetchFills++
+		c.ctr.prefetchFills.Inc()
 	} else {
-		c.stats.Fills++
+		c.ctr.fills.Inc()
 	}
 	// Merge with an existing copy.
 	for i := range set {
@@ -187,7 +245,7 @@ place:
 	ev := Eviction{}
 	v := &set[victim]
 	if v.Valid {
-		c.stats.Evictions++
+		c.ctr.evictions.Inc()
 		ev.Valid = true
 		ev.Addr = c.geom.Compose(v.Tag, idx)
 		ev.Dirty = v.Dirty
@@ -195,10 +253,10 @@ place:
 		ev.LastTouch = v.LastTouch
 		ev.FilledAt = v.FilledAt
 		if v.Dirty {
-			c.stats.Writebacks++
+			c.ctr.writebacks.Inc()
 		}
 		if v.Prefetched {
-			c.stats.UnusedPrefetchEvicted++
+			c.ctr.unusedPrefetchEvicted.Inc()
 		}
 	}
 	c.tick++
@@ -311,7 +369,9 @@ func (c *Cache) Reset() {
 		}
 	}
 	c.tick = 0
-	c.stats = Stats{}
+	for _, m := range c.ctr.metrics() {
+		m.(*telemetry.Counter).Store(0)
+	}
 }
 
 // String describes the cache configuration.

@@ -29,6 +29,7 @@ import (
 
 	"tagprefetch/internal/addr"
 	"tagprefetch/internal/prefetch"
+	"tagprefetch/internal/telemetry"
 	"tagprefetch/internal/trace"
 )
 
@@ -133,7 +134,8 @@ type TCP struct {
 	pht     []phtEntry // PHTSets * PHTWays
 	clock   int64
 
-	stats Stats
+	ctr counters
+	tr  *telemetry.Tracer // never nil; telemetry.Nop() when disabled
 }
 
 type phtEntry struct {
@@ -143,7 +145,38 @@ type phtEntry struct {
 	valid   bool
 }
 
-// Stats counts predictor activity.
+// counters are the registry-backed predictor metrics; Stats() renders
+// them as the legacy struct view.
+type counters struct {
+	misses      *telemetry.Counter
+	lookups     *telemetry.Counter
+	hits        *telemetry.Counter
+	predictions *telemetry.Counter
+	updates     *telemetry.Counter
+	allocs      *telemetry.Counter
+	evictions   *telemetry.Counter
+	stridePreds *telemetry.Counter
+}
+
+func newCounters() counters {
+	return counters{
+		misses:      telemetry.NewCounter("misses", "L1 misses observed"),
+		lookups:     telemetry.NewCounter("pht.lookups", "PHT lookups with a full history"),
+		hits:        telemetry.NewCounter("pht.hits", "PHT lookups that matched an entry"),
+		predictions: telemetry.NewCounter("predictions", "prefetch requests produced by the PHT"),
+		updates:     telemetry.NewCounter("pht.updates", "PHT entries trained"),
+		allocs:      telemetry.NewCounter("pht.allocs", "PHT entries newly allocated"),
+		evictions:   telemetry.NewCounter("pht.evictions", "valid PHT entries displaced by allocation"),
+		stridePreds: telemetry.NewCounter("stride_predictions", "requests produced by the stride assist"),
+	}
+}
+
+func (c *counters) metrics() []telemetry.Metric {
+	return []telemetry.Metric{c.misses, c.lookups, c.hits, c.predictions,
+		c.updates, c.allocs, c.evictions, c.stridePreds}
+}
+
+// Stats is the legacy struct view of the predictor counters.
 type Stats struct {
 	Misses      uint64 // L1 misses observed
 	Lookups     uint64 // PHT lookups with a full history
@@ -151,6 +184,7 @@ type Stats struct {
 	Predictions uint64 // prefetch requests produced by the PHT
 	Updates     uint64 // PHT entries trained
 	Allocs      uint64 // PHT entries newly allocated
+	Evictions   uint64 // valid PHT entries displaced by allocation
 
 	StridePredictions uint64 // requests produced by the stride assist (§6)
 }
@@ -175,7 +209,18 @@ func New(cfg Config) *TCP {
 	}
 	t.thtFill = make([]int, cfg.L1.Sets())
 	t.pht = make([]phtEntry, cfg.PHTSets*cfg.PHTWays)
+	t.ctr = newCounters()
+	t.tr = telemetry.Nop()
 	return t
+}
+
+// AttachTelemetry implements telemetry.Component: predictor counters are
+// registered into reg and PHT evictions are traced through tr.
+func (t *TCP) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	reg.Attach(t.ctr.metrics()...)
+	if tr != nil {
+		t.tr = tr
+	}
 }
 
 func log2u(v int) uint {
@@ -254,7 +299,14 @@ func (t *TCP) phtAllocate(setIdx uint64, lastTag uint64) *phtEntry {
 			victim = i
 		}
 	}
-	t.stats.Allocs++
+	t.ctr.allocs.Inc()
+	if set[victim].valid {
+		// A live correlation is displaced: the central cost of sharing a
+		// small PHT across sets (Figures 11-13).
+		t.ctr.evictions.Inc()
+		t.tr.Emit(telemetry.Event{Cycle: t.clock, Type: "pht.evict",
+			Level: telemetry.LevelDebug, Addr: set[victim].tag, Value: int64(setIdx)})
+	}
 	set[victim] = phtEntry{tag: lastTag & t.tagMask, valid: true}
 	return &set[victim]
 }
@@ -262,7 +314,7 @@ func (t *TCP) phtAllocate(setIdx uint64, lastTag uint64) *phtEntry {
 // OnMiss implements prefetch.Prefetcher: the update and lookup operations
 // of Section 4, in that order, for one L1 demand miss.
 func (t *TCP) OnMiss(m trace.Miss) []prefetch.Request {
-	t.stats.Misses++
+	t.ctr.misses.Inc()
 	t.clock++
 	row := t.tht[m.Index]
 	k := t.cfg.HistoryDepth
@@ -273,7 +325,7 @@ func (t *TCP) OnMiss(m trace.Miss) []prefetch.Request {
 		e := t.phtAllocate(setIdx, row[k-1])
 		e.used = t.clock
 		t.train(e, m.Tag)
-		t.stats.Updates++
+		t.ctr.updates.Inc()
 	}
 
 	// Shift the miss tag into the THT row.
@@ -289,19 +341,19 @@ func (t *TCP) OnMiss(m trace.Miss) []prefetch.Request {
 	}
 
 	// Lookup: predict the successor of the new sequence.
-	t.stats.Lookups++
+	t.ctr.lookups.Inc()
 	var reqs []prefetch.Request
 	setIdx := t.phtIndex(row, m.Index)
 	if e := t.phtProbe(setIdx, m.Tag); e != nil && len(e.targets) > 0 {
 		e.used = t.clock
-		t.stats.Hits++
+		t.ctr.hits.Inc()
 		for _, tg := range e.targets {
 			a := t.cfg.L1.Compose(tg, m.Index)
 			if t.cfg.L1.Block(m.Addr) == a {
 				continue // predicting the line that just missed is useless
 			}
 			reqs = append(reqs, prefetch.Request{Addr: a, ToL1: t.cfg.PrefetchToL1})
-			t.stats.Predictions++
+			t.ctr.predictions.Inc()
 		}
 	}
 
@@ -312,7 +364,7 @@ func (t *TCP) OnMiss(m trace.Miss) []prefetch.Request {
 			a := t.cfg.L1.Compose(next, m.Index)
 			if a != t.cfg.L1.Block(m.Addr) && !hasTarget(reqs, a) {
 				reqs = append(reqs, prefetch.Request{Addr: a, ToL1: t.cfg.PrefetchToL1})
-				t.stats.StridePredictions++
+				t.ctr.stridePreds.Inc()
 			}
 		}
 	}
@@ -389,8 +441,19 @@ func (t *TCP) THTBits() uint64 {
 	return uint64(t.cfg.L1.Sets()) * uint64(t.cfg.HistoryDepth) * uint64(t.cfg.TagBits)
 }
 
-// Stats returns predictor counters.
-func (t *TCP) Stats() Stats { return t.stats }
+// Stats returns the predictor counters as the legacy struct view.
+func (t *TCP) Stats() Stats {
+	return Stats{
+		Misses:            t.ctr.misses.Value(),
+		Lookups:           t.ctr.lookups.Value(),
+		Hits:              t.ctr.hits.Value(),
+		Predictions:       t.ctr.predictions.Value(),
+		Updates:           t.ctr.updates.Value(),
+		Allocs:            t.ctr.allocs.Value(),
+		Evictions:         t.ctr.evictions.Value(),
+		StridePredictions: t.ctr.stridePreds.Value(),
+	}
+}
 
 // Reset implements prefetch.Prefetcher.
 func (t *TCP) Reset() {
@@ -406,5 +469,7 @@ func (t *TCP) Reset() {
 		t.pht[i] = phtEntry{}
 	}
 	t.clock = 0
-	t.stats = Stats{}
+	for _, m := range t.ctr.metrics() {
+		m.(*telemetry.Counter).Store(0)
+	}
 }

@@ -26,6 +26,7 @@ package cpu
 import (
 	"tagprefetch/internal/addr"
 	"tagprefetch/internal/branch"
+	"tagprefetch/internal/telemetry"
 	"tagprefetch/internal/workload"
 )
 
@@ -172,6 +173,11 @@ type Core struct {
 	cfg  Config
 	mem  Memory
 	pred branch.Predictor
+
+	// telemetry (optional; nil fields are skipped on the hot path)
+	instrCtr *telemetry.Counter
+	cycleCtr *telemetry.Counter
+	sampler  *telemetry.Sampler
 }
 
 // New creates a core bound to a data-memory system.
@@ -187,6 +193,31 @@ func New(cfg Config, mem Memory) *Core {
 // Config returns the effective configuration.
 func (c *Core) Config() Config { return c.cfg }
 
+// AttachTelemetry implements telemetry.Component: the core exports
+// cumulative retired-instruction and cycle counters (updated at sampler
+// ticks and at run end, so they are cheap to keep). Ratio probes over
+// these two counters yield the windowed IPC series.
+func (c *Core) AttachTelemetry(reg *telemetry.Registry, _ *telemetry.Tracer) {
+	c.instrCtr = reg.Counter("instructions_retired", "dynamic instructions committed")
+	c.cycleCtr = reg.Counter("cycles", "cycles elapsed (last commit time)")
+}
+
+// UseSampler drives s from the commit loop: the core checks s.Due at each
+// retired instruction and snapshots the registered probes. The sampler is
+// not thread-safe; it must not be shared across cores.
+func (c *Core) UseSampler(s *telemetry.Sampler) { c.sampler = s }
+
+// syncCounters publishes the current progress into the attached counters.
+func (c *Core) syncCounters(instructions uint64, cycles int64) {
+	if c.instrCtr == nil {
+		return
+	}
+	c.instrCtr.Store(instructions)
+	if cycles >= 0 {
+		c.cycleCtr.Store(uint64(cycles))
+	}
+}
+
 // Run executes n dynamic instructions from gen and returns timing results.
 func (c *Core) Run(gen workload.Generator, n uint64) Result {
 	return c.RunMeasured(gen, 0, n, nil)
@@ -196,8 +227,9 @@ func (c *Core) Run(gen workload.Generator, n uint64) Result {
 // counters for the measured portion only — the analogue of the paper's
 // "skip the first 1 billion instructions ... then simulate 2 billion"
 // methodology. onBoundary, if non-nil, is invoked when the warmup portion
-// has been processed (callers snapshot memory-system statistics there).
-func (c *Core) RunMeasured(gen workload.Generator, warmup, measure uint64, onBoundary func()) Result {
+// has been processed, with the commit cycle at the boundary (callers
+// snapshot memory-system statistics and mark sampling phases there).
+func (c *Core) RunMeasured(gen workload.Generator, warmup, measure uint64, onBoundary func(cycle int64)) Result {
 	cfg := c.cfg
 	n := warmup + measure
 	var res, warmRes Result
@@ -230,8 +262,13 @@ func (c *Core) RunMeasured(gen workload.Generator, warmup, measure uint64, onBou
 			warmRes.Instructions = warmup
 			warmRes.Cycles = lastCommit
 			if onBoundary != nil {
-				onBoundary()
+				c.syncCounters(i, lastCommit)
+				onBoundary(lastCommit)
 			}
+		}
+		if c.sampler != nil && c.sampler.Due(lastCommit) {
+			c.syncCounters(i, lastCommit)
+			c.sampler.Sample(lastCommit, i)
 		}
 		gen.Next(&inst)
 
@@ -351,6 +388,7 @@ func (c *Core) RunMeasured(gen workload.Generator, warmup, measure uint64, onBou
 
 	res.Cycles = lastCommit
 	res.Instructions = n
+	c.syncCounters(n, lastCommit)
 	if warmup > 0 {
 		res = res.sub(warmRes)
 	}

@@ -265,7 +265,7 @@ func TestRunMeasuredSubtractsWarmup(t *testing.T) {
 	calls := 0
 	g2 := workload.New(workload.MustSpec2000("gzip"), 5)
 	core2 := New(Config{}, &fixedMem{latency: 5})
-	core2.RunMeasured(g2, 10_000, 10_000, func() { calls++ })
+	core2.RunMeasured(g2, 10_000, 10_000, func(int64) { calls++ })
 	if calls != 1 {
 		t.Errorf("boundary callbacks = %d", calls)
 	}

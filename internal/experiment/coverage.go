@@ -47,7 +47,7 @@ func CaptureMisses(bench string, o Options, capRecords int) ([]trace.Miss, error
 	mem := memsys.New(memCfg, tap)
 	core := cpu.New(cpu.Config{}, mem)
 	core.RunMeasured(workload.New(spec, o.Seed), o.Warmup, o.Instructions,
-		func() { tap.armed = true })
+		func(int64) { tap.armed = true })
 	return tap.buf.Misses, nil
 }
 

@@ -48,7 +48,7 @@ func ProfileBench(bench string, o Options) (profiler.Summary, error) {
 	mem := memsys.New(memCfg, rec)
 	core := cpu.New(cpu.Config{}, mem)
 	gen := workload.New(spec, o.Seed)
-	core.RunMeasured(gen, o.Warmup, o.Instructions, func() { rec.armed = true })
+	core.RunMeasured(gen, o.Warmup, o.Instructions, func(int64) { rec.armed = true })
 	return rec.p.Summarize(), nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"tagprefetch/internal/deadblock"
 	"tagprefetch/internal/dram"
 	"tagprefetch/internal/prefetch"
+	"tagprefetch/internal/telemetry"
 	"tagprefetch/internal/trace"
 )
 
@@ -86,7 +87,53 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
-// Stats aggregates hierarchy activity, including Figure 12's categories.
+// counters are the registry-backed hierarchy metrics; Stats() renders
+// them (plus the L1 cache counters) as the legacy struct view.
+type counters struct {
+	mshrMerges *telemetry.Counter
+	mshrStalls *telemetry.Counter
+
+	l2Demand              *telemetry.Counter
+	prefetchedOriginal    *telemetry.Counter
+	nonPrefetchedOriginal *telemetry.Counter
+	prefetchedExtra       *telemetry.Counter
+	l2Hits                *telemetry.Counter
+	l2Misses              *telemetry.Counter
+
+	pfIssued     *telemetry.Counter
+	pfDropped    *telemetry.Counter
+	pfFills      *telemetry.Counter
+	pfToL1Fills  *telemetry.Counter
+	pfL1Rejected *telemetry.Counter
+}
+
+func newCounters() counters {
+	return counters{
+		mshrMerges:            telemetry.NewCounter("mshr.merges", "misses merged with an in-flight fill"),
+		mshrStalls:            telemetry.NewCounter("mshr.stalls", "misses stalled on a full MSHR file"),
+		l2Demand:              telemetry.NewCounter("l2.demand", "demand (original) L2 accesses"),
+		prefetchedOriginal:    telemetry.NewCounter("l2.prefetched_original", "demand hits on prefetched L2 lines (Figure 12)"),
+		nonPrefetchedOriginal: telemetry.NewCounter("l2.non_prefetched_original", "demand L2 accesses not served by a prefetch (Figure 12)"),
+		prefetchedExtra:       telemetry.NewCounter("l2.prefetched_extra", "prefetch fills never demanded (Figure 12)"),
+		l2Hits:                telemetry.NewCounter("l2.demand_hits", "demand L2 hits"),
+		l2Misses:              telemetry.NewCounter("l2.demand_misses", "demand L2 misses (to memory)"),
+		pfIssued:              telemetry.NewCounter("prefetch.issued", "prefetch requests accepted from the prefetcher"),
+		pfDropped:             telemetry.NewCounter("prefetch.dropped", "prefetch requests already resident or in flight"),
+		pfFills:               telemetry.NewCounter("prefetch.fills", "prefetch-initiated L2 fills from memory"),
+		pfToL1Fills:           telemetry.NewCounter("prefetch.to_l1_fills", "hybrid promotions into L1"),
+		pfL1Rejected:          telemetry.NewCounter("prefetch.l1_rejected", "promotions blocked by a live victim"),
+	}
+}
+
+func (c *counters) metrics() []telemetry.Metric {
+	return []telemetry.Metric{c.mshrMerges, c.mshrStalls, c.l2Demand,
+		c.prefetchedOriginal, c.nonPrefetchedOriginal, c.prefetchedExtra,
+		c.l2Hits, c.l2Misses, c.pfIssued, c.pfDropped, c.pfFills,
+		c.pfToL1Fills, c.pfL1Rejected}
+}
+
+// Stats is the legacy struct view of the hierarchy counters, including
+// Figure 12's categories.
 type Stats struct {
 	Accesses   uint64
 	L1Hits     uint64
@@ -149,7 +196,8 @@ type MemSys struct {
 	l2pf prefetch.Prefetcher  // nil unless a prefetcher observes the L2 miss stream
 	dbp  *deadblock.Predictor // nil unless hybrid promotion is enabled
 
-	stats Stats
+	ctr counters
+	tr  *telemetry.Tracer // never nil; telemetry.Nop() when disabled
 }
 
 // New builds the hierarchy with the given prefetcher (nil means none).
@@ -168,6 +216,8 @@ func New(cfg Config, pf prefetch.Prefetcher) *MemSys {
 		mem:    dram.New(cfg.MemLatency, memBus),
 		mshr:   cache.NewMSHRFile(cfg.MSHRs),
 		pf:     pf,
+		ctr:    newCounters(),
+		tr:     telemetry.Nop(),
 	}
 	if cfg.PrefetchBus {
 		m.pfBus = bus.New("l1-l2-prefetch", cfg.L1L2BusBytes)
@@ -186,6 +236,27 @@ func (m *MemSys) UseL2Prefetcher(p prefetch.Prefetcher) { m.l2pf = p }
 // UseDeadBlockPredictor enables hybrid L1 promotion gated by p.
 func (m *MemSys) UseDeadBlockPredictor(p *deadblock.Predictor) { m.dbp = p }
 
+// AttachTelemetry registers the hierarchy's counters into reg (typically a
+// view scoped to "memsys": the L1/L2 caches land under "memsys.l1" and
+// "memsys.l2") and directs discrete events — prefetch issued/useful/late,
+// MSHR stalls, dead-block promotion decisions — to tr. Attached
+// prefetchers that implement telemetry.Component are wired under
+// "prefetch" relative to reg. tr may be nil for metrics-only attachment.
+func (m *MemSys) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	reg.Attach(m.ctr.metrics()...)
+	m.l1d.AttachTelemetry(reg.Sub("l1"), tr)
+	m.l2.AttachTelemetry(reg.Sub("l2"), tr)
+	if tr != nil {
+		m.tr = tr
+	}
+	if c, ok := m.pf.(telemetry.Component); ok {
+		c.AttachTelemetry(reg.Sub("prefetch"), tr)
+	}
+	if c, ok := m.l2pf.(telemetry.Component); ok {
+		c.AttachTelemetry(reg.Sub("l2prefetch"), tr)
+	}
+}
+
 // Config returns the effective configuration.
 func (m *MemSys) Config() Config { return m.cfg }
 
@@ -201,12 +272,17 @@ func (m *MemSys) Prefetcher() prefetch.Prefetcher { return m.pf }
 // Access performs a demand load or store issued at cycle `now` and returns
 // the cycle at which the data is available to the core.
 func (m *MemSys) Access(a, pc addr.Addr, write bool, now int64) int64 {
-	m.stats.Accesses++
-
 	res := m.l1d.Access(a, write, now)
 	if res.Hit {
-		m.stats.L1Hits++
 		if res.Prefetched {
+			m.tr.Emit(telemetry.Event{Cycle: now, Type: "prefetch.useful",
+				Level: telemetry.LevelInfo, Addr: uint64(a), PC: uint64(pc)})
+			if res.ReadyAt > now {
+				// The prefetch was issued but its data had not yet arrived:
+				// useful, but late (partial latency hidden).
+				m.tr.Emit(telemetry.Event{Cycle: now, Type: "prefetch.late",
+					Level: telemetry.LevelInfo, Addr: uint64(a), Value: res.ReadyAt - now})
+			}
 			// First demand touch of a promoted line: without this hook the
 			// hit would vanish from the per-set miss stream and starve the
 			// prefetcher's history, so train it on a virtual miss (and let
@@ -219,13 +295,12 @@ func (m *MemSys) Access(a, pc addr.Addr, write bool, now int64) int64 {
 		}
 		return res.ReadyAt
 	}
-	m.stats.L1Misses++
 
 	// Merge with an in-flight fill of the same block. Entries are retired
 	// lazily: a completed entry found here is dropped instead of merged.
 	if e, ok := m.mshr.Lookup(m.cfg.L1D, a); ok {
 		if e.ReadyAt > now {
-			m.stats.MSHRMerges++
+			m.ctr.mshrMerges.Inc()
 			if e.Prefetch {
 				e.Prefetch = false
 			}
@@ -238,11 +313,13 @@ func (m *MemSys) Access(a, pc addr.Addr, write bool, now int64) int64 {
 	start := now
 	if m.mshr.InFlight() >= m.mshr.Capacity() {
 		// Stall until the earliest in-flight fill retires.
-		m.stats.MSHRStalls++
+		m.ctr.mshrStalls.Inc()
 		if t := m.mshr.EarliestReady(); t > start {
 			start = t
 		}
 		m.mshr.ReleaseBefore(start)
+		m.tr.Emit(telemetry.Event{Cycle: now, Type: "mshr.stall",
+			Level: telemetry.LevelInfo, Addr: uint64(a), Value: start - now})
 	}
 
 	readyAt := m.fillFromL2(a, pc, start, false)
@@ -275,12 +352,12 @@ func (m *MemSys) fillFromL2(a, pc addr.Addr, now int64, isPrefetch bool) int64 {
 	switch {
 	case res.Hit:
 		if !isPrefetch {
-			m.stats.L2Demand++
-			m.stats.L2Hits++
+			m.ctr.l2Demand.Inc()
+			m.ctr.l2Hits.Inc()
 			if res.Prefetched {
-				m.stats.PrefetchedOriginal++
+				m.ctr.prefetchedOriginal.Inc()
 			} else {
-				m.stats.NonPrefetchedOriginal++
+				m.ctr.nonPrefetchedOriginal.Inc()
 			}
 		}
 		dataAt = reqAt + m.cfg.L2Latency
@@ -289,17 +366,17 @@ func (m *MemSys) fillFromL2(a, pc addr.Addr, now int64, isPrefetch bool) int64 {
 		}
 	case m.cfg.IdealL2:
 		if !isPrefetch {
-			m.stats.L2Demand++
-			m.stats.L2Hits++
-			m.stats.NonPrefetchedOriginal++
+			m.ctr.l2Demand.Inc()
+			m.ctr.l2Hits.Inc()
+			m.ctr.nonPrefetchedOriginal.Inc()
 		}
 		dataAt = reqAt + m.cfg.L2Latency
 		m.fillL2(a, reqAt, dataAt, isPrefetch)
 	default:
 		if !isPrefetch {
-			m.stats.L2Demand++
-			m.stats.L2Misses++
-			m.stats.NonPrefetchedOriginal++
+			m.ctr.l2Demand.Inc()
+			m.ctr.l2Misses.Inc()
+			m.ctr.nonPrefetchedOriginal.Inc()
 		}
 		dataAt = m.mem.Read(reqAt+m.cfg.L2Latency, m.cfg.L2.BlockBytes())
 		m.fillL2(a, reqAt, dataAt, isPrefetch)
@@ -317,14 +394,14 @@ func (m *MemSys) fillFromL2(a, pc addr.Addr, now int64, isPrefetch bool) int64 {
 // fillL2 installs block a into the L2, accounting evictions.
 func (m *MemSys) fillL2(a addr.Addr, now, readyAt int64, isPrefetch bool) {
 	if isPrefetch {
-		m.stats.PrefetchFills++
+		m.ctr.pfFills.Inc()
 	}
 	ev := m.l2.Fill(m.cfg.L2.Block(a), now, readyAt, isPrefetch)
 	if !ev.Valid {
 		return
 	}
 	if ev.WasPrefetched {
-		m.stats.PrefetchedExtra++
+		m.ctr.prefetchedExtra.Inc()
 	}
 	if ev.Dirty {
 		m.mem.Write(now, m.cfg.L2.BlockBytes())
@@ -367,25 +444,27 @@ func (m *MemSys) issue(reqs []prefetch.Request, now int64) {
 func (m *MemSys) issueOne(r prefetch.Request, now int64) {
 	// Already in L1: nothing to do.
 	if m.l1d.Probe(r.Addr) {
-		m.stats.PrefetchDropped++
+		m.ctr.pfDropped.Inc()
 		return
 	}
 	// In flight already?
 	if e, ok := m.mshr.Lookup(m.cfg.L1D, r.Addr); ok && e.ReadyAt > now {
-		m.stats.PrefetchDropped++
+		m.ctr.pfDropped.Inc()
 		return
 	}
 	l2a := m.cfg.L2.Block(r.Addr)
 	if m.l2.Probe(l2a) {
 		// "The L2 first checks whether the target data is already in
 		// itself. If found, the prefetch is completed." (Section 4)
-		m.stats.PrefetchDropped++
+		m.ctr.pfDropped.Inc()
 		if r.ToL1 {
 			m.promoteToL1(r.Addr, now, now+m.cfg.L2Latency)
 		}
 		return
 	}
-	m.stats.PrefetchIssued++
+	m.ctr.pfIssued.Inc()
+	m.tr.Emit(telemetry.Event{Cycle: now, Type: "prefetch.issued",
+		Level: telemetry.LevelInfo, Addr: uint64(r.Addr)})
 	dataAt := m.fillFromL2(r.Addr, 0, now, true)
 	if r.ToL1 {
 		m.promoteToL1(r.Addr, now, dataAt)
@@ -400,7 +479,7 @@ func (m *MemSys) issueOne(r prefetch.Request, now int64) {
 // exactly what the paper warns against.
 func (m *MemSys) promoteToL1(a addr.Addr, now, dataAt int64) {
 	if m.dbp == nil {
-		m.stats.PrefetchL1Rejected++
+		m.ctr.pfL1Rejected.Inc()
 		return
 	}
 	// Promote only when the victim dies around the time the prefetched
@@ -414,8 +493,10 @@ func (m *MemSys) promoteToL1(a addr.Addr, now, dataAt int64) {
 	if v, ok := m.l1d.VictimFor(a); ok {
 		victimAddr := m.cfg.L1D.Compose(v.Tag, m.cfg.L1D.Index(a))
 		deadAt := m.dbp.DeadAt(victimAddr, v.LastTouch)
+		m.tr.Emit(telemetry.Event{Cycle: now, Type: "deadblock.predict",
+			Level: telemetry.LevelDebug, Addr: uint64(victimAddr), Value: deadAt})
 		if deadAt > dataAt+promoteSlack {
-			m.stats.PrefetchL1Rejected++
+			m.ctr.pfL1Rejected.Inc()
 			return
 		}
 		if deadAt > promoteAt {
@@ -431,18 +512,40 @@ func (m *MemSys) promoteToL1(a addr.Addr, now, dataAt int64) {
 	readyAt := b.Transfer(promoteAt, m.cfg.L1D.BlockBytes())
 	ev := m.l1d.Fill(a, promoteAt, readyAt, true)
 	m.handleL1Eviction(ev, promoteAt)
-	m.stats.PrefetchToL1Fills++
+	m.ctr.pfToL1Fills.Inc()
 }
 
 // Finish closes the books at the end of a run: prefetched L2 lines never
 // demanded count as "prefetched extra" (Figure 12).
 func (m *MemSys) Finish() {
-	m.stats.PrefetchedExtra += uint64(m.l2.UnusedPrefetched())
-	m.stats.PrefetchedExtra += uint64(m.l1d.UnusedPrefetched())
+	m.ctr.prefetchedExtra.Add(uint64(m.l2.UnusedPrefetched()))
+	m.ctr.prefetchedExtra.Add(uint64(m.l1d.UnusedPrefetched()))
 }
 
-// Stats returns a copy of the hierarchy counters.
-func (m *MemSys) Stats() Stats { return m.stats }
+// Stats returns the hierarchy counters as the legacy struct view. The
+// per-access fields (Accesses, L1Hits, L1Misses) are read from the L1
+// cache counters — the hierarchy sees exactly the L1 demand stream.
+func (m *MemSys) Stats() Stats {
+	l1 := m.l1d.Stats()
+	return Stats{
+		Accesses:              l1.Accesses,
+		L1Hits:                l1.Hits,
+		L1Misses:              l1.Misses,
+		MSHRMerges:            m.ctr.mshrMerges.Value(),
+		MSHRStalls:            m.ctr.mshrStalls.Value(),
+		L2Demand:              m.ctr.l2Demand.Value(),
+		PrefetchedOriginal:    m.ctr.prefetchedOriginal.Value(),
+		NonPrefetchedOriginal: m.ctr.nonPrefetchedOriginal.Value(),
+		PrefetchedExtra:       m.ctr.prefetchedExtra.Value(),
+		L2Hits:                m.ctr.l2Hits.Value(),
+		L2Misses:              m.ctr.l2Misses.Value(),
+		PrefetchIssued:        m.ctr.pfIssued.Value(),
+		PrefetchDropped:       m.ctr.pfDropped.Value(),
+		PrefetchFills:         m.ctr.pfFills.Value(),
+		PrefetchToL1Fills:     m.ctr.pfToL1Fills.Value(),
+		PrefetchL1Rejected:    m.ctr.pfL1Rejected.Value(),
+	}
+}
 
 // L1Stats and L2Stats expose the underlying cache counters.
 func (m *MemSys) L1Stats() cache.Stats { return m.l1d.Stats() }
@@ -473,5 +576,7 @@ func (m *MemSys) Reset() {
 	if m.dbp != nil {
 		m.dbp.Reset()
 	}
-	m.stats = Stats{}
+	for _, c := range m.ctr.metrics() {
+		c.(*telemetry.Counter).Store(0)
+	}
 }

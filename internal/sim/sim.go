@@ -17,6 +17,7 @@ import (
 	"tagprefetch/internal/deadblock"
 	"tagprefetch/internal/memsys"
 	"tagprefetch/internal/prefetch"
+	"tagprefetch/internal/telemetry"
 	"tagprefetch/internal/workload"
 )
 
@@ -38,6 +39,15 @@ type Config struct {
 	NoWarmup bool
 	// Seed drives all pseudo-random workload choices (default 1).
 	Seed uint64
+
+	// Telemetry, if non-nil, receives the run's observability: every
+	// component registers its counters into Telemetry.Registry (memsys
+	// under "memsys", the core under "cpu", the prefetcher under
+	// "memsys.prefetch"), discrete events go to Telemetry.Tracer, and —
+	// when Telemetry.Sampler is set — the core drives cycle-sampled
+	// time series for IPC, L1 miss rate and prefetch coverage/accuracy,
+	// with warmup/measure phase boundaries recorded. Nil costs nothing.
+	Telemetry *telemetry.Run
 }
 
 func (c Config) withDefaults() Config {
@@ -259,20 +269,88 @@ func RunSpec(spec workload.Spec, f Factory, cfg Config) Result {
 	coreM := cpu.New(cfg.CPU, mem)
 	gen := workload.New(spec, cfg.Seed)
 
+	tel := cfg.Telemetry
+	if tel != nil {
+		attachTelemetry(tel, mem, coreM, cfg)
+	}
+
 	var memAtBoundary memsys.Stats
-	cpuRes := coreM.RunMeasured(gen, cfg.Warmup, cfg.Instructions, func() {
+	cpuRes := coreM.RunMeasured(gen, cfg.Warmup, cfg.Instructions, func(cycle int64) {
 		memAtBoundary = mem.Stats()
+		if tel != nil && tel.Sampler != nil {
+			tel.Sampler.MarkPhase("measure", cycle, cfg.Warmup)
+		}
 	})
 	mem.Finish()
+	memStats := mem.Stats().Sub(memAtBoundary)
+	if tel != nil {
+		exportRunGauges(tel.Registry, cpuRes, memStats)
+	}
 
 	return Result{
 		Benchmark:             spec.Name,
 		Prefetcher:            f.Name,
 		CPU:                   cpuRes,
-		Mem:                   mem.Stats().Sub(memAtBoundary),
+		Mem:                   memStats,
 		L1:                    mem.L1Stats(),
 		L2:                    mem.L2Stats(),
 		PrefetcherStorageBits: pf.StorageBits(),
+	}
+}
+
+// attachTelemetry registers the system's components into the run's
+// registry, arms the sampler's probes, and records the starting phase.
+func attachTelemetry(tel *telemetry.Run, mem *memsys.MemSys, coreM *cpu.Core, cfg Config) {
+	mem.AttachTelemetry(tel.Registry.Sub("memsys"), tel.Tracer)
+	coreM.AttachTelemetry(tel.Registry.Sub("cpu"), tel.Tracer)
+	if tel.Sampler == nil {
+		return
+	}
+	coreM.UseSampler(tel.Sampler)
+	reg := tel.Registry
+	tel.Sampler.Ratio("cpu.ipc",
+		counterProbe(reg, "cpu.instructions_retired"), counterProbe(reg, "cpu.cycles"))
+	tel.Sampler.Ratio("memsys.l1.miss_rate",
+		counterProbe(reg, "memsys.l1.misses"), counterProbe(reg, "memsys.l1.accesses"))
+	tel.Sampler.Ratio("prefetch.coverage",
+		counterProbe(reg, "memsys.l2.prefetched_original"), counterProbe(reg, "memsys.l2.demand"))
+	tel.Sampler.Ratio("prefetch.accuracy",
+		counterProbe(reg, "memsys.l2.prefetched_original"), counterProbe(reg, "memsys.prefetch.fills"))
+	if cfg.Warmup > 0 {
+		tel.Sampler.MarkPhase("warmup", 0, 0)
+	} else {
+		tel.Sampler.MarkPhase("measure", 0, 0)
+	}
+}
+
+// counterProbe adapts a registered counter into a sampler probe; a name
+// that is not registered (e.g. a prefetcher without that metric) reads 0.
+func counterProbe(reg *telemetry.Registry, name string) func() float64 {
+	m, ok := reg.Lookup(name)
+	if !ok {
+		return func() float64 { return 0 }
+	}
+	return telemetry.CounterValue(m.(*telemetry.Counter))
+}
+
+// exportRunGauges publishes the measured-window headline numbers. The
+// registry counters themselves are cumulative over warmup+measure; these
+// gauges are the warmup-subtracted figures the paper reports.
+func exportRunGauges(reg *telemetry.Registry, cpuRes cpu.Result, ms memsys.Stats) {
+	reg.Gauge("run.ipc", "measured-window IPC").Set(cpuRes.IPC)
+	if ms.Accesses > 0 {
+		reg.Gauge("run.l1_miss_rate", "measured-window L1 demand miss rate").
+			Set(float64(ms.L1Misses) / float64(ms.Accesses))
+	}
+	if orig := ms.PrefetchedOriginal + ms.NonPrefetchedOriginal; orig > 0 {
+		reg.Gauge("run.prefetch_coverage",
+			"fraction of demand L2 traffic served by prefetched lines (measured window)").
+			Set(float64(ms.PrefetchedOriginal) / float64(orig))
+	}
+	if ms.PrefetchFills > 0 {
+		reg.Gauge("run.prefetch_accuracy",
+			"prefetched lines later demanded per prefetch fill (measured window)").
+			Set(float64(ms.PrefetchedOriginal) / float64(ms.PrefetchFills))
 	}
 }
 

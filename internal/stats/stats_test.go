@@ -1,10 +1,13 @@
 package stats
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"tagprefetch/internal/telemetry"
 )
 
 func almostEqual(a, b float64) bool {
@@ -228,5 +231,36 @@ func TestTableCSV(t *testing.T) {
 	}
 	if strings.Contains(out, "ignored title") {
 		t.Error("CSV must not contain the title")
+	}
+}
+
+// TestGeomeanClampObservable: clamping of non-positive inputs must never
+// be silent — the per-call count, the process-wide counter and a telemetry
+// event all record it.
+func TestGeomeanClampObservable(t *testing.T) {
+	before := GeomeanClampCount()
+
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf, telemetry.TracerOptions{})
+	telemetry.SetDefault(tr)
+	defer telemetry.SetDefault(nil)
+
+	g, clamped := GeomeanClamped([]float64{0, -1, 4})
+	if g <= 0 {
+		t.Errorf("clamped geomean = %v, want > 0", g)
+	}
+	if clamped != 2 {
+		t.Errorf("clamped = %d, want 2", clamped)
+	}
+	if got := GeomeanClampCount() - before; got != 2 {
+		t.Errorf("GeomeanClampCount delta = %d, want 2", got)
+	}
+	tr.Flush()
+	if !strings.Contains(buf.String(), "stats.geomean_clamped") {
+		t.Errorf("no clamp event traced: %q", buf.String())
+	}
+
+	if _, clamped := GeomeanClamped([]float64{1, 4}); clamped != 0 {
+		t.Errorf("clean inputs reported %d clamps", clamped)
 	}
 }

@@ -50,6 +50,18 @@ func (t *Table) NumRows() int { return len(t.rows) }
 // Title returns the table title.
 func (t *Table) Title() string { return t.title }
 
+// Headers returns the column headers (for machine-readable export).
+func (t *Table) Headers() []string { return append([]string(nil), t.headers...) }
+
+// Rows returns a copy of the data rows (for machine-readable export).
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
 // WriteTo renders the table.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	widths := make([]int, len(t.headers))

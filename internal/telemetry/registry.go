@@ -1,0 +1,345 @@
+// Package telemetry is the simulator's unified observability layer: a
+// hierarchical metrics registry every component registers into at
+// construction, a cycle-sampled time-series sampler with phase boundaries,
+// a structured event tracer with a zero-cost no-op default, and a
+// machine-readable run-report exporter. It is the single place the
+// experiment harness and the cmd/ binaries read simulator state from —
+// the role the central stats framework plays in gem5-class simulators.
+//
+// Naming convention: metric names are dot-separated component paths,
+// lower_snake_case leaves, e.g. "memsys.l1.misses" or
+// "prefetch.stride_predictions". Registry.Sub scopes a registry view to a
+// path prefix so components name metrics locally.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric is implemented by the metric kinds defined in this package
+// (Counter, Gauge, Histogram). The interface is sealed: components create
+// metrics with NewCounter/NewGauge/NewHistogram or through a Registry.
+type Metric interface {
+	// MetricName is the local (unprefixed) metric name.
+	MetricName() string
+	// MetricDesc is the one-line description.
+	MetricDesc() string
+	value(fullName string) MetricValue
+}
+
+// Counter is a monotonically increasing uint64 metric. All methods are
+// safe for concurrent use.
+type Counter struct {
+	name, desc string
+	v          atomic.Uint64
+}
+
+// NewCounter creates a standalone counter (attach with Registry.Attach).
+func NewCounter(name, desc string) *Counter {
+	return &Counter{name: name, desc: desc}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Store sets the counter to n (used by components that mirror an internal
+// total into the registry, and by Reset).
+func (c *Counter) Store(n uint64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// MetricName implements Metric.
+func (c *Counter) MetricName() string { return c.name }
+
+// MetricDesc implements Metric.
+func (c *Counter) MetricDesc() string { return c.desc }
+
+func (c *Counter) value(full string) MetricValue {
+	v := c.v.Load()
+	return MetricValue{Name: full, Desc: c.desc, Kind: "counter", Value: float64(v), Count: v}
+}
+
+// Gauge is an instantaneous float64 metric. Safe for concurrent use.
+type Gauge struct {
+	name, desc string
+	bits       atomic.Uint64
+}
+
+// NewGauge creates a standalone gauge.
+func NewGauge(name, desc string) *Gauge {
+	return &Gauge{name: name, desc: desc}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// MetricName implements Metric.
+func (g *Gauge) MetricName() string { return g.name }
+
+// MetricDesc implements Metric.
+func (g *Gauge) MetricDesc() string { return g.desc }
+
+func (g *Gauge) value(full string) MetricValue {
+	return MetricValue{Name: full, Desc: g.desc, Kind: "gauge", Value: g.Value()}
+}
+
+// Histogram is a fixed-bucket histogram over non-negative integer samples;
+// bucket i counts samples < bounds[i], the last bucket is open-ended.
+// Safe for concurrent use.
+type Histogram struct {
+	name, desc string
+	bounds     []uint64
+
+	mu     sync.Mutex
+	counts []uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+// NewHistogram creates a standalone histogram with ascending bucket upper
+// bounds. Panics if bounds is empty or not strictly ascending.
+func NewHistogram(name, desc string, bounds ...uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		name:   name,
+		desc:   desc,
+		bounds: append([]uint64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v < h.bounds[i] })
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Total returns the number of samples observed.
+func (h *Histogram) Total() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the arithmetic mean of all samples (0 if none).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Reset clears all recorded samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum, h.max = 0, 0, 0
+	h.mu.Unlock()
+}
+
+// MetricName implements Metric.
+func (h *Histogram) MetricName() string { return h.name }
+
+// MetricDesc implements Metric.
+func (h *Histogram) MetricDesc() string { return h.desc }
+
+func (h *Histogram) value(full string) MetricValue {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	mv := MetricValue{Name: full, Desc: h.desc, Kind: "histogram", Count: h.total, Sum: h.sum}
+	if h.total > 0 {
+		mv.Value = float64(h.sum) / float64(h.total)
+	}
+	for i, c := range h.counts {
+		b := Bucket{Count: c}
+		if i < len(h.bounds) {
+			b.UpperBound = h.bounds[i]
+		} else {
+			b.UpperBound = math.MaxUint64
+			b.Open = true
+		}
+		mv.Buckets = append(mv.Buckets, b)
+	}
+	return mv
+}
+
+// Bucket is one histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the exclusive upper bound; the last bucket is open.
+	UpperBound uint64 `json:"le"`
+	Open       bool   `json:"open,omitempty"`
+	Count      uint64 `json:"count"`
+}
+
+// MetricValue is one metric in a registry snapshot (and in run reports).
+type MetricValue struct {
+	Name  string `json:"name"`
+	Desc  string `json:"desc,omitempty"`
+	Kind  string `json:"kind"`
+	Value float64 `json:"value"`
+	// Count carries the exact integer value for counters and the sample
+	// count for histograms.
+	Count   uint64   `json:"count,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// registryData is the shared store behind a Registry and its Sub views.
+type registryData struct {
+	mu      sync.RWMutex
+	metrics map[string]Metric
+}
+
+// Registry is a hierarchical metrics registry. A Registry value is a view
+// onto a shared store scoped to a path prefix; Sub derives narrower views.
+// All methods are safe for concurrent use.
+type Registry struct {
+	data   *registryData
+	prefix string // "" or "path." (trailing dot)
+}
+
+// NewRegistry creates an empty registry rooted at the empty prefix.
+func NewRegistry() *Registry {
+	return &Registry{data: &registryData{metrics: make(map[string]Metric)}}
+}
+
+// Sub returns a view of the registry scoped under path (e.g. "memsys.l1").
+func (r *Registry) Sub(path string) *Registry {
+	if path == "" {
+		return r
+	}
+	return &Registry{data: r.data, prefix: r.prefix + path + "."}
+}
+
+// Attach registers existing metrics under this view's prefix. A metric
+// re-attached under a name that is already registered replaces the old one
+// (components recreated between runs keep the latest instance live).
+func (r *Registry) Attach(ms ...Metric) {
+	r.data.mu.Lock()
+	for _, m := range ms {
+		r.data.metrics[r.prefix+m.MetricName()] = m
+	}
+	r.data.mu.Unlock()
+}
+
+// Counter returns the counter registered under name, creating it if absent.
+// Panics if name is registered as a different metric kind.
+func (r *Registry) Counter(name, desc string) *Counter {
+	full := r.prefix + name
+	r.data.mu.Lock()
+	defer r.data.mu.Unlock()
+	if m, ok := r.data.metrics[full]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %s registered as %T, not counter", full, m))
+		}
+		return c
+	}
+	c := NewCounter(name, desc)
+	r.data.metrics[full] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if absent.
+func (r *Registry) Gauge(name, desc string) *Gauge {
+	full := r.prefix + name
+	r.data.mu.Lock()
+	defer r.data.mu.Unlock()
+	if m, ok := r.data.metrics[full]; ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %s registered as %T, not gauge", full, m))
+		}
+		return g
+	}
+	g := NewGauge(name, desc)
+	r.data.metrics[full] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bounds if absent.
+func (r *Registry) Histogram(name, desc string, bounds ...uint64) *Histogram {
+	full := r.prefix + name
+	r.data.mu.Lock()
+	defer r.data.mu.Unlock()
+	if m, ok := r.data.metrics[full]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %s registered as %T, not histogram", full, m))
+		}
+		return h
+	}
+	h := NewHistogram(name, desc, bounds...)
+	r.data.metrics[full] = h
+	return h
+}
+
+// Lookup returns the metric registered under name within this view.
+func (r *Registry) Lookup(name string) (Metric, bool) {
+	r.data.mu.RLock()
+	defer r.data.mu.RUnlock()
+	m, ok := r.data.metrics[r.prefix+name]
+	return m, ok
+}
+
+// Len returns the number of metrics visible from this view.
+func (r *Registry) Len() int { return len(r.Snapshot()) }
+
+// Snapshot returns the current value of every metric under this view's
+// prefix, sorted by full name.
+func (r *Registry) Snapshot() []MetricValue {
+	r.data.mu.RLock()
+	names := make([]string, 0, len(r.data.metrics))
+	for name := range r.data.metrics {
+		if len(name) >= len(r.prefix) && name[:len(r.prefix)] == r.prefix {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]MetricValue, 0, len(names))
+	for _, name := range names {
+		out = append(out, r.data.metrics[name].value(name))
+	}
+	r.data.mu.RUnlock()
+	return out
+}
+
+// Component is implemented by simulator pieces (caches, prefetchers, the
+// memory hierarchy) that can register their metrics into a registry view
+// and direct discrete events to a tracer. tr may be nil when the caller
+// wants metrics only; implementations must keep any stored tracer non-nil
+// (use Nop()).
+type Component interface {
+	AttachTelemetry(reg *Registry, tr *Tracer)
+}

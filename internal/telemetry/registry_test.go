@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("memsys.l1.misses", "L1 demand misses")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	// Create-or-get returns the same instance.
+	if r.Counter("memsys.l1.misses", "") != c {
+		t.Error("Counter() did not return the registered instance")
+	}
+	g := r.Gauge("run.ipc", "measured IPC")
+	g.Set(1.25)
+	if g.Value() != 1.25 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}
+
+func TestSubPrefixAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	l1 := r.Sub("memsys").Sub("l1")
+	l1.Counter("misses", "L1 misses").Add(7)
+	r.Counter("cpu.instructions", "retired").Add(100)
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(snap))
+	}
+	// Sorted by full name.
+	if snap[0].Name != "cpu.instructions" || snap[1].Name != "memsys.l1.misses" {
+		t.Errorf("snapshot names = %q, %q", snap[0].Name, snap[1].Name)
+	}
+	if snap[1].Count != 7 {
+		t.Errorf("memsys.l1.misses = %d, want 7", snap[1].Count)
+	}
+
+	// A Sub view snapshots only its prefix.
+	sub := r.Sub("memsys").Snapshot()
+	if len(sub) != 1 || sub[0].Name != "memsys.l1.misses" {
+		t.Errorf("sub snapshot = %+v", sub)
+	}
+}
+
+func TestAttachExistingMetrics(t *testing.T) {
+	c := NewCounter("hits", "demand hits")
+	c.Add(3)
+	r := NewRegistry()
+	r.Sub("memsys.l2").Attach(c)
+	got, ok := r.Lookup("memsys.l2.hits")
+	if !ok || got.(*Counter) != c {
+		t.Fatalf("Lookup after Attach = %v, %v", got, ok)
+	}
+	if v := r.Snapshot()[0]; v.Name != "memsys.l2.hits" || v.Count != 3 {
+		t.Errorf("snapshot = %+v", v)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("memsys.miss_latency", "cycles per miss", 10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	mv := r.Snapshot()[0]
+	if mv.Kind != "histogram" || mv.Count != 3 || mv.Sum != 555 {
+		t.Fatalf("histogram value = %+v", mv)
+	}
+	if len(mv.Buckets) != 3 || mv.Buckets[0].Count != 1 || mv.Buckets[2].Count != 1 || !mv.Buckets[2].Open {
+		t.Errorf("buckets = %+v", mv.Buckets)
+	}
+}
+
+// TestRegistryConcurrency exercises concurrent Add/Observe/Snapshot; run
+// under -race this is the registry's thread-safety guarantee.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("memsys.accesses", "demand accesses")
+	h := r.Histogram("lat", "latency", 8, 64, 512)
+	g := r.Gauge("ipc", "ipc")
+
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Add(1)
+				h.Observe(uint64(seed*i) % 1000)
+				g.Set(float64(i))
+				// Concurrent registration of new metrics must be safe too.
+				r.Counter("dyn.counter", "registered concurrently").Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, mv := range r.Snapshot() {
+				_ = mv.Value
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if c.Value() != writers*perWriter {
+		t.Errorf("accesses = %d, want %d", c.Value(), writers*perWriter)
+	}
+	if h.Total() != writers*perWriter {
+		t.Errorf("histogram total = %d, want %d", h.Total(), writers*perWriter)
+	}
+	dyn, _ := r.Lookup("dyn.counter")
+	if dyn.(*Counter).Value() != writers*perWriter {
+		t.Errorf("dyn.counter = %d", dyn.(*Counter).Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "")
+	r.Gauge("x", "")
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import "testing"
+
+func TestSamplerDueAndSeries(t *testing.T) {
+	s := NewSampler(100, 0)
+	c := NewCounter("n", "")
+	cyc := NewCounter("cycles", "")
+	s.Ratio("rate", CounterValue(c), CounterValue(cyc))
+	s.Value("gauge", func() float64 { return 42 })
+
+	if s.Due(50) {
+		t.Error("due before first interval")
+	}
+	c.Add(30)
+	cyc.Store(100)
+	if !s.Due(100) {
+		t.Fatal("not due at 100")
+	}
+	s.Sample(100, 1000)
+	c.Add(10)
+	cyc.Store(200)
+	s.Sample(200, 2000)
+
+	series := s.Series()
+	// Built-in instructions series plus two probes.
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3", len(series))
+	}
+	if series[0].Name != "cpu.instructions_retired" || series[0].Values[1] != 2000 {
+		t.Errorf("instructions series = %+v", series[0])
+	}
+	rate := series[1]
+	if rate.Values[0] != 0.3 { // 30 events over 100 cycles
+		t.Errorf("rate[0] = %v, want 0.3", rate.Values[0])
+	}
+	if rate.Values[1] != 0.1 { // windowed: only the 10 new events count
+		t.Errorf("rate[1] = %v, want 0.1", rate.Values[1])
+	}
+	if series[2].Values[0] != 42 {
+		t.Errorf("gauge series = %+v", series[2])
+	}
+}
+
+// TestSamplerPhaseBoundary is the warmup/measure isolation guarantee:
+// marking a phase re-baselines windowed probes, so activity from the
+// warmup phase cannot bleed into the first measured sample.
+func TestSamplerPhaseBoundary(t *testing.T) {
+	s := NewSampler(100, 0)
+	misses := NewCounter("misses", "")
+	accesses := NewCounter("accesses", "")
+	s.Ratio("missrate", CounterValue(misses), CounterValue(accesses))
+
+	s.MarkPhase("warmup", 0, 0)
+	// Warmup: 90 misses out of 100 accesses — a terrible miss rate.
+	misses.Add(90)
+	accesses.Add(100)
+	s.Sample(100, 100)
+
+	// Boundary at cycle 150, then a clean measured window: 1 miss / 100.
+	misses.Add(5) // tail of warmup activity between last sample and boundary
+	accesses.Add(10)
+	s.MarkPhase("measure", 150, 110)
+	misses.Add(1)
+	accesses.Add(100)
+	s.Sample(200, 210)
+
+	series := s.Series()[1]
+	if series.Values[0] != 0.9 {
+		t.Errorf("warmup sample = %v, want 0.9", series.Values[0])
+	}
+	// Without re-baselining this would be (5+1)/(10+100) ≈ 0.055.
+	if series.Values[1] != 0.01 {
+		t.Errorf("measured sample = %v, want 0.01 (warmup bled in)", series.Values[1])
+	}
+
+	warm := s.SamplesInPhase("warmup")
+	meas := s.SamplesInPhase("measure")
+	if len(warm) != 1 || warm[0] != 0 {
+		t.Errorf("warmup samples = %v", warm)
+	}
+	if len(meas) != 1 || meas[0] != 1 {
+		t.Errorf("measure samples = %v", meas)
+	}
+	if ph := s.Phases(); len(ph) != 2 || ph[1].Name != "measure" || ph[1].Cycle != 150 {
+		t.Errorf("phases = %+v", ph)
+	}
+}
+
+func TestSamplerMaxSamples(t *testing.T) {
+	s := NewSampler(1, 3)
+	for c := int64(1); c <= 10; c++ {
+		if s.Due(c) {
+			s.Sample(c, uint64(c))
+		}
+	}
+	if s.NumSamples() != 3 {
+		t.Errorf("samples = %d, want 3", s.NumSamples())
+	}
+	if s.Truncated() != 7 {
+		t.Errorf("truncated = %d, want 7", s.Truncated())
+	}
+}
+
+func TestSamplerOnSampleCallback(t *testing.T) {
+	s := NewSampler(10, 0)
+	s.Value("v", func() float64 { return 1 })
+	var gotCycle int64
+	var gotInstr uint64
+	s.OnSample(func(cycle int64, instr uint64, values []float64) {
+		gotCycle, gotInstr = cycle, instr
+		if len(values) != 1 || values[0] != 1 {
+			t.Errorf("values = %v", values)
+		}
+	})
+	s.Sample(10, 77)
+	if gotCycle != 10 || gotInstr != 77 {
+		t.Errorf("callback got (%d, %d)", gotCycle, gotInstr)
+	}
+}
