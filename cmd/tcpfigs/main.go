@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"tagprefetch/internal/experiment"
@@ -26,7 +27,11 @@ import (
 	"tagprefetch/internal/telemetry"
 )
 
-func main() {
+// main delegates to run so that error exits unwind normally: os.Exit would
+// skip the deferred profile flush and truncate -cpuprofile/-memprofile.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		exp   = flag.String("exp", "all", "experiment id (table1, fig1..fig7, fig11..fig15, ablations, all)")
 		n     = flag.Uint64("n", 1_000_000, "measured instructions per run")
@@ -34,6 +39,7 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "workload seed")
 		bench = flag.String("benches", "", "comma-separated benchmark subset (default all 26)")
 		asCSV = flag.Bool("csv", false, "emit table experiments as CSV instead of aligned text")
+		jobs  = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
 
 		reportIn   = flag.String("report", "", "render a telemetry report (from tcpsim/tcpsweep -json) instead of running experiments")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -44,19 +50,22 @@ func main() {
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcpfigs:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer stopProf()
 
 	if *reportIn != "" {
 		if err := renderReport(*reportIn, *asCSV); err != nil {
 			fmt.Fprintln(os.Stderr, "tcpfigs:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	o := experiment.Options{Instructions: *n, Warmup: *warm, Seed: *seed}
+	// One runner for every figure: baselines simulated for fig1 are reused
+	// by fig11, fig14 and the ablations via the memoised cache.
+	o := experiment.Options{Instructions: *n, Warmup: *warm, Seed: *seed,
+		Runner: experiment.NewRunner(*jobs)}
 	if *bench != "" {
 		o.Benches = strings.Split(*bench, ",")
 	}
@@ -67,11 +76,12 @@ func main() {
 			"fig7", "fig11", "fig12", "fig13a", "fig13b", "fig14", "fig15", "coverage", "ablations"}
 	}
 
+	bad := false
 	emit := func(t *stats.Table) {
 		if *asCSV {
 			if err := t.WriteCSV(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "tcpfigs:", err)
-				os.Exit(1)
+				bad = true
 			}
 			return
 		}
@@ -136,10 +146,18 @@ func main() {
 			fmt.Println(experiment.AblationBranchPredictors(o).String())
 		default:
 			fmt.Fprintf(os.Stderr, "tcpfigs: unknown experiment %q\n", id)
-			os.Exit(2)
+			return 2
+		}
+		if bad {
+			return 1
 		}
 		fmt.Println()
 	}
+	if simulated, reused := o.Runner.BaselineStats(); reused > 0 {
+		fmt.Fprintf(os.Stderr, "tcpfigs: baseline cache: %d simulated, %d reused\n",
+			simulated, reused)
+	}
+	return 0
 }
 
 // renderReport prints a telemetry report written by `tcpsim -json` or

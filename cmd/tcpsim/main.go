@@ -9,14 +9,17 @@
 //	tcpsim -bench swim -pf tcp -pht 32768 -nbits 2
 //	tcpsim -bench mcf -pf tcp8k -json out.json     # machine-readable report
 //	tcpsim -bench mcf -pf tcp8k -trace ev.jsonl -progress 1
+//	tcpsim -bench all -pf tcp8k -jobs 4            # 4 benchmarks in flight
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
+	"tagprefetch/internal/experiment"
 	"tagprefetch/internal/memsys"
 	"tagprefetch/internal/profiling"
 	"tagprefetch/internal/sim"
@@ -54,7 +57,12 @@ func factory(name string, phtBytes, nbits int) (sim.Factory, error) {
 	}
 }
 
-func main() {
+// main delegates to run so that error exits unwind normally: os.Exit would
+// skip the deferred profile flush and trace close, truncating
+// -cpuprofile/-memprofile/-trace output.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		bench  = flag.String("bench", "all", "SPEC2000 benchmark name, or 'all'")
 		pfName = flag.String("pf", "none", "prefetcher: none|tcp8k|tcp8m|hybrid8k|dbcp2m|stride|stream|markov|ghb|nextline|tcp")
@@ -65,6 +73,7 @@ func main() {
 		ideal  = flag.Bool("ideal", false, "ideal L2 (every L2 access hits)")
 		seed   = flag.Uint64("seed", 1, "workload seed")
 		list   = flag.Bool("list", false, "list benchmark models and exit")
+		jobs   = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers across benchmarks (1 = serial)")
 
 		jsonOut    = flag.String("json", "", "write a machine-readable run report (metrics, time series, phases) to this file")
 		sample     = flag.Int64("sample", 10_000, "time-series sampling interval in cycles (with -json/-progress)")
@@ -80,7 +89,7 @@ func main() {
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcpsim:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer stopProf()
 
@@ -90,13 +99,13 @@ func main() {
 			fmt.Printf("%-10s body=%-4d mem=%.2f streams=%d\n",
 				b, spec.BodyLen, spec.MemFrac, len(spec.Streams))
 		}
-		return
+		return 0
 	}
 
 	f, err := factory(*pfName, *pht, *nbits)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcpsim:", err)
-		os.Exit(2)
+		return 2
 	}
 	cfg := sim.Config{
 		Instructions: *n,
@@ -109,7 +118,7 @@ func main() {
 	if *bench != "all" {
 		if _, err := workload.Spec2000(*bench); err != nil {
 			fmt.Fprintln(os.Stderr, "tcpsim:", err)
-			os.Exit(2)
+			return 2
 		}
 		benches = []string{*bench}
 	}
@@ -122,13 +131,13 @@ func main() {
 		tf, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tcpsim:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer tf.Close()
 		lvl, err := telemetry.ParseLevel(*traceLevel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tcpsim:", err)
-			os.Exit(2)
+			return 2
 		}
 		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{
 			MinLevel: lvl, MaxEvents: *traceMax})
@@ -144,26 +153,36 @@ func main() {
 		return *n / 2 // sim.Config's default
 	}
 
-	tab := stats.NewTable(
-		fmt.Sprintf("tcpsim: pf=%s n=%d ideal=%v", f.Name, *n, *ideal),
-		"bench", "IPC", "L1 miss%", "L2 miss%", "pf issued", "pf useful%", "mispred%")
-	for _, b := range benches {
+	// Each benchmark is an independent job with its own telemetry.Run, so
+	// runs isolate their registries/samplers even when executing on
+	// concurrent workers; the tracer is shared and internally synchronised.
+	simJobs := make([]experiment.Job, len(benches))
+	teleRuns := make([]*telemetry.Run, len(benches))
+	for i, b := range benches {
 		runCfg := cfg
-		var run *telemetry.Run
 		if telemetryOn {
-			run = telemetry.NewRun(*sample)
-			run.Tracer = tracer
-			runCfg.Telemetry = run
+			tRun := telemetry.NewRun(*sample)
+			tRun.Tracer = tracer
+			runCfg.Telemetry = tRun
+			teleRuns[i] = tRun
 			tracer.Emit(telemetry.Event{Type: "run.start",
 				Level: telemetry.LevelInfo, Note: b})
 			if *progress > 0 {
-				installProgress(run.Sampler, b, *progress)
+				installProgress(tRun.Sampler, b, *progress)
 			}
 		}
-		r := sim.MustRun(b, f, runCfg)
-		if run != nil {
+		simJobs[i] = experiment.Job{Bench: b, Factory: f, Config: runCfg}
+	}
+	results := experiment.NewRunner(*jobs).Map(simJobs)
+
+	tab := stats.NewTable(
+		fmt.Sprintf("tcpsim: pf=%s n=%d ideal=%v", f.Name, *n, *ideal),
+		"bench", "IPC", "L1 miss%", "L2 miss%", "pf issued", "pf useful%", "mispred%")
+	for i, b := range benches {
+		r := results[i]
+		if teleRuns[i] != nil {
 			report.Runs = append(report.Runs,
-				run.Report(b, f.Name, *n, warmupOf(), *seed, r.IPC()))
+				teleRuns[i].Report(b, f.Name, *n, warmupOf(), *seed, r.IPC()))
 		}
 		useful := 0.0
 		if tot := r.Mem.PrefetchedOriginal + r.Mem.PrefetchedExtra; tot > 0 {
@@ -188,10 +207,11 @@ func main() {
 		report.GeomeanClamped = stats.GeomeanClampCount()
 		if err := report.WriteFile(*jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "tcpsim:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "tcpsim: report written to %s\n", *jsonOut)
 	}
+	return 0
 }
 
 // installProgress prints an instructions-retired/IPC heartbeat to stderr

@@ -6,12 +6,14 @@
 //	tcpsweep -sweep nbits              # Figure 13 (bottom)
 //	tcpsweep -sweep k -benches swim    # THT depth on one benchmark
 //	tcpsweep -sweep size -json out.json   # machine-readable sweep curves
+//	tcpsweep -sweep size -jobs 1          # strictly serial execution
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"tagprefetch/internal/experiment"
@@ -20,13 +22,18 @@ import (
 	"tagprefetch/internal/telemetry"
 )
 
-func main() {
+// main delegates to run so that error exits unwind normally: os.Exit would
+// skip the deferred profile flush and truncate -cpuprofile/-memprofile.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		sweep = flag.String("sweep", "size", "sweep: size | nbits | k | assoc | hash | targets | baselines | critfilter | strideassist | placement | branchpred")
 		n     = flag.Uint64("n", 1_000_000, "measured instructions per run")
 		warm  = flag.Uint64("warmup", 2_000_000, "warmup instructions per run")
 		seed  = flag.Uint64("seed", 1, "workload seed")
 		bench = flag.String("benches", "", "comma-separated benchmark subset (default all 26)")
+		jobs  = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
 
 		jsonOut    = flag.String("json", "", "write the sweep's curves and tables as a machine-readable report to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -37,11 +44,12 @@ func main() {
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcpsweep:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer stopProf()
 
-	o := experiment.Options{Instructions: *n, Warmup: *warm, Seed: *seed}
+	o := experiment.Options{Instructions: *n, Warmup: *warm, Seed: *seed,
+		Runner: experiment.NewRunner(*jobs)}
 	if *bench != "" {
 		o.Benches = strings.Split(*bench, ",")
 	}
@@ -85,15 +93,21 @@ func main() {
 		series(experiment.AblationBranchPredictors(o))
 	default:
 		fmt.Fprintf(os.Stderr, "tcpsweep: unknown sweep %q\n", *sweep)
-		os.Exit(2)
+		return 2
+	}
+
+	if simulated, reused := o.Runner.BaselineStats(); reused > 0 {
+		fmt.Fprintf(os.Stderr, "tcpsweep: baseline cache: %d simulated, %d reused\n",
+			simulated, reused)
 	}
 
 	if *jsonOut != "" {
 		report.GeomeanClamped = stats.GeomeanClampCount()
 		if err := report.WriteFile(*jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "tcpsweep:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "tcpsweep: report written to %s\n", *jsonOut)
 	}
+	return 0
 }

@@ -28,6 +28,7 @@ type capture struct {
 	prof  *profiler.Profiler
 	w     *trace.Writer
 	armed bool
+	err   error // first write error; stops further dumping, reported after the run
 }
 
 func (c *capture) Name() string { return "capture" }
@@ -37,11 +38,11 @@ func (c *capture) OnMiss(m trace.Miss) []prefetch.Request {
 		return nil
 	}
 	c.prof.Observe(m)
-	if c.w != nil {
-		if err := c.w.Write(m); err != nil {
-			fmt.Fprintln(os.Stderr, "tcptrace: write:", err)
-			os.Exit(1)
-		}
+	if c.w != nil && c.err == nil {
+		// A failing sink must not abort mid-simulation (an os.Exit here
+		// would also skip the deferred profile flush): remember the first
+		// error, stop writing, and report it when the run completes.
+		c.err = c.w.Write(m)
 	}
 	return nil
 }
@@ -51,7 +52,12 @@ func (c *capture) OnEvict(addr.Addr, int64, int64, int64)                       
 func (c *capture) StorageBits() uint64                                           { return 0 }
 func (c *capture) Reset()                                                        {}
 
-func main() {
+// main delegates to run so that error exits unwind normally: os.Exit would
+// skip the deferred profile flush and trace-writer flush, truncating
+// -cpuprofile/-memprofile/-o output.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		bench  = flag.String("bench", "", "SPEC2000 benchmark to trace")
 		n      = flag.Uint64("n", 1_000_000, "measured instructions")
@@ -69,7 +75,7 @@ func main() {
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcptrace:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer stopProf()
 
@@ -81,7 +87,7 @@ func main() {
 		f, err := os.Open(*in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tcptrace:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		r := trace.NewReader(f, memCfg.L1D)
@@ -92,7 +98,7 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "tcptrace:", err)
-				os.Exit(1)
+				return 1
 			}
 			prof.Observe(m)
 		}
@@ -100,14 +106,14 @@ func main() {
 		spec, err := workload.Spec2000(*bench)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tcptrace:", err)
-			os.Exit(1)
+			return 1
 		}
 		cap := &capture{prof: prof, armed: *warm == 0}
 		if *out != "" {
 			f, err := os.Create(*out)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "tcptrace:", err)
-				os.Exit(1)
+				return 1
 			}
 			defer f.Close()
 			cap.w = trace.NewWriter(f)
@@ -116,12 +122,16 @@ func main() {
 		mem := memsys.New(memCfg, cap)
 		core := cpu.New(cpu.Config{}, mem)
 		core.RunMeasured(workload.New(spec, *seed), *warm, *n, func(int64) { cap.armed = true })
+		if cap.err != nil {
+			fmt.Fprintln(os.Stderr, "tcptrace: write:", cap.err)
+			return 1
+		}
 		if cap.w != nil {
 			fmt.Fprintf(os.Stderr, "tcptrace: wrote %d miss records to %s\n", cap.w.Count(), *out)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "tcptrace: need -bench or -i; -h for help")
-		os.Exit(2)
+		return 2
 	}
 
 	s := prof.Summarize()
@@ -140,4 +150,5 @@ func main() {
 	t.AddRow("mean per-set sequence recurrence (Fig 7)", fmt.Sprintf("%.1f", s.SeqPerSetRecur))
 	t.AddRow("strided sequences (Fig 15)", stats.Percent(s.StridedFrac))
 	t.WriteTo(os.Stdout) //nolint:errcheck
+	return 0
 }

@@ -86,6 +86,23 @@ type Stats struct {
 	UnusedPrefetchEvicted uint64 // prefetched lines evicted without a demand touch
 }
 
+// Sub returns the per-counter difference s - w, used to report
+// measured-window statistics after a warmup-boundary snapshot.
+func (s Stats) Sub(w Stats) Stats {
+	return Stats{
+		Accesses:              s.Accesses - w.Accesses,
+		Hits:                  s.Hits - w.Hits,
+		Misses:                s.Misses - w.Misses,
+		HitsOnPrefetch:        s.HitsOnPrefetch - w.HitsOnPrefetch,
+		LateHits:              s.LateHits - w.LateHits,
+		Fills:                 s.Fills - w.Fills,
+		PrefetchFills:         s.PrefetchFills - w.PrefetchFills,
+		Evictions:             s.Evictions - w.Evictions,
+		Writebacks:            s.Writebacks - w.Writebacks,
+		UnusedPrefetchEvicted: s.UnusedPrefetchEvicted - w.UnusedPrefetchEvicted,
+	}
+}
+
 // MissRate returns misses / accesses (0 when no accesses).
 func (s Stats) MissRate() float64 {
 	if s.Accesses == 0 {

@@ -45,6 +45,12 @@ func (c Config) withDefaults() Config {
 type Predictor struct {
 	cfg  Config
 	live map[uint64]int64 // blockID -> last observed live time (cycles)
+	// ring holds the map's keys in insertion order; when the table is
+	// full the oldest insertion is replaced. Replacement must be
+	// deterministic (simulation results are pinned byte-for-byte across
+	// runs), which rules out dropping an arbitrary map key.
+	ring     []uint64
+	ringHead int
 
 	stats Stats
 }
@@ -69,16 +75,20 @@ func (p *Predictor) OnEvict(a addr.Addr, fillAt, lastTouch int64) {
 	if lt < 0 {
 		lt = 0
 	}
-	if len(p.live) >= p.cfg.Entries {
-		// Bounded table: drop an arbitrary entry (hardware would use a
-		// set-associative table with replacement; eviction choice is not
-		// performance-critical here).
-		for k := range p.live {
-			delete(p.live, k)
-			break
+	id := p.cfg.Geom.BlockID(a)
+	if _, ok := p.live[id]; !ok {
+		if len(p.live) >= p.cfg.Entries {
+			// Bounded table: replace the oldest insertion (FIFO). Hardware
+			// would use a set-associative table; what matters here is that
+			// the choice is deterministic.
+			delete(p.live, p.ring[p.ringHead])
+			p.ring[p.ringHead] = id
+			p.ringHead = (p.ringHead + 1) % p.cfg.Entries
+		} else {
+			p.ring = append(p.ring, id)
 		}
 	}
-	p.live[p.cfg.Geom.BlockID(a)] = lt
+	p.live[id] = lt
 	p.stats.Learned++
 }
 
@@ -125,5 +135,7 @@ func (p *Predictor) Stats() Stats { return p.stats }
 // Reset clears all learned lifetimes and statistics.
 func (p *Predictor) Reset() {
 	p.live = make(map[uint64]int64, p.cfg.Entries)
+	p.ring = p.ring[:0]
+	p.ringHead = 0
 	p.stats = Stats{}
 }

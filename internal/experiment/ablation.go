@@ -9,14 +9,19 @@ import (
 	"tagprefetch/internal/stats"
 )
 
-// meanIPC runs f over all of o's benches and returns the geomean IPC.
-func meanIPC(o Options, f sim.Factory) float64 {
-	cfg := o.simConfig()
-	var ipcs []float64
-	for _, b := range o.Benches {
-		ipcs = append(ipcs, sim.MustRun(b, f, cfg).IPC())
+// meanIPCs submits every (bench, factory) point through the runner as one
+// batch and returns the per-factory geomean IPC over o's benches.
+func meanIPCs(o Options, cfg sim.Config, fs ...sim.Factory) []float64 {
+	res := o.Runner.Map(GridJobs(o.Benches, fs, cfg))
+	out := make([]float64, len(fs))
+	for fi := range fs {
+		var ipcs []float64
+		for bi := range o.Benches {
+			ipcs = append(ipcs, res[bi*len(fs)+fi].IPC())
+		}
+		out[fi] = stats.Geomean(ipcs)
 	}
-	return stats.Geomean(ipcs)
+	return out
 }
 
 // AblationTHTDepth (A1) sweeps the THT history depth k (1-4 tags per row)
@@ -24,11 +29,14 @@ func meanIPC(o Options, f sim.Factory) float64 {
 func AblationTHTDepth(o Options) stats.Series {
 	o = o.withDefaults()
 	s := stats.Series{Name: "mean IPC vs THT depth k (8KB PHT, shared)"}
+	var fs []sim.Factory
 	for k := 1; k <= 4; k++ {
-		f := sim.Custom(fmt.Sprintf("tcp-8K/k%d", k), core.Config{
+		fs = append(fs, sim.Custom(fmt.Sprintf("tcp-8K/k%d", k), core.Config{
 			HistoryDepth: k, PHTSets: 256, PHTWays: 8,
-		})
-		s.Add(fmt.Sprintf("k=%d", k), meanIPC(o, f))
+		}))
+	}
+	for i, ipc := range meanIPCs(o, o.simConfig(), fs...) {
+		s.Add(fmt.Sprintf("k=%d", i+1), ipc)
 	}
 	return s
 }
@@ -38,12 +46,16 @@ func AblationTHTDepth(o Options) stats.Series {
 func AblationPHTAssoc(o Options) stats.Series {
 	o = o.withDefaults()
 	s := stats.Series{Name: "mean IPC vs PHT associativity (8KB budget)"}
-	for _, ways := range []int{1, 2, 4, 8, 16} {
+	allWays := []int{1, 2, 4, 8, 16}
+	var fs []sim.Factory
+	for _, ways := range allWays {
 		sets := 8 * 1024 / 4 / ways
-		f := sim.Custom(fmt.Sprintf("tcp-8K/w%d", ways), core.Config{
+		fs = append(fs, sim.Custom(fmt.Sprintf("tcp-8K/w%d", ways), core.Config{
 			HistoryDepth: 2, PHTSets: sets, PHTWays: ways,
-		})
-		s.Add(fmt.Sprintf("%d-way", ways), meanIPC(o, f))
+		}))
+	}
+	for i, ipc := range meanIPCs(o, o.simConfig(), fs...) {
+		s.Add(fmt.Sprintf("%d-way", allWays[i]), ipc)
 	}
 	return s
 }
@@ -53,14 +65,18 @@ func AblationPHTAssoc(o Options) stats.Series {
 func AblationHashing(o Options) stats.Series {
 	o = o.withDefaults()
 	s := stats.Series{Name: "mean IPC vs PHT hash (8KB PHT)"}
-	for _, h := range []struct {
+	hashes := []struct {
 		name string
 		kind core.HashKind
-	}{{"trunc-add", core.HashTruncAdd}, {"xor-fold", core.HashXOR}} {
-		f := sim.Custom("tcp-8K/"+h.name, core.Config{
+	}{{"trunc-add", core.HashTruncAdd}, {"xor-fold", core.HashXOR}}
+	var fs []sim.Factory
+	for _, h := range hashes {
+		fs = append(fs, sim.Custom("tcp-8K/"+h.name, core.Config{
 			HistoryDepth: 2, PHTSets: 256, PHTWays: 8, Hash: h.kind,
-		})
-		s.Add(h.name, meanIPC(o, f))
+		}))
+	}
+	for i, ipc := range meanIPCs(o, o.simConfig(), fs...) {
+		s.Add(hashes[i].name, ipc)
 	}
 	return s
 }
@@ -71,13 +87,17 @@ func AblationHashing(o Options) stats.Series {
 func AblationMultiTarget(o Options) stats.Series {
 	o = o.withDefaults()
 	s := stats.Series{Name: "mean IPC vs targets/entry (8KB budget)"}
-	for _, m := range []int{1, 2, 4} {
+	targets := []int{1, 2, 4}
+	var fs []sim.Factory
+	for _, m := range targets {
 		entryBytes := 2 * (1 + m) // TagBits=16 -> 2B per stored tag
 		sets := 8 * 1024 / entryBytes / 8
-		f := sim.Custom(fmt.Sprintf("tcp-8K/t%d", m), core.Config{
+		fs = append(fs, sim.Custom(fmt.Sprintf("tcp-8K/t%d", m), core.Config{
 			HistoryDepth: 2, PHTSets: pow2Floor(sets), PHTWays: 8, Targets: m,
-		})
-		s.Add(fmt.Sprintf("%d-target", m), meanIPC(o, f))
+		}))
+	}
+	for i, ipc := range meanIPCs(o, o.simConfig(), fs...) {
+		s.Add(fmt.Sprintf("%d-target", targets[i]), ipc)
 	}
 	return s
 }
@@ -95,31 +115,10 @@ func pow2Floor(v int) int {
 // stream buffers (Jouppi), Markov (Joseph-Grunwald) and next-line.
 func AblationClassicBaselines(o Options) *stats.Table {
 	o = o.withDefaults()
-	cfg := o.simConfig()
-	factories := []sim.Factory{
+	return improvementTable("Ablation A5: TCP-8K vs classic prefetchers (IPC improvement)",
+		o, o.simConfig(),
 		sim.NextLine(), sim.Stride(), sim.StreamBuffers(), sim.Markov(),
-		sim.GHB(), sim.TCP8K(),
-	}
-	t := stats.NewTable("Ablation A5: TCP-8K vs classic prefetchers (IPC improvement)",
-		append([]string{"bench", "base IPC"}, factoryNames(factories)...)...)
-	sums := make([][]float64, len(factories))
-	for _, b := range o.Benches {
-		base := sim.MustRun(b, sim.NoPrefetch(), cfg)
-		row := []string{b, fmt.Sprintf("%.3f", base.IPC())}
-		for fi, f := range factories {
-			r := sim.MustRun(b, f, cfg)
-			imp := sim.Improvement(r, base)
-			sums[fi] = append(sums[fi], 1+imp)
-			row = append(row, stats.Percent(imp))
-		}
-		t.AddRow(row...)
-	}
-	grow := []string{"geomean", ""}
-	for fi := range factories {
-		grow = append(grow, stats.Percent(stats.Geomean(sums[fi])-1))
-	}
-	t.AddRow(grow...)
-	return t
+		sim.GHB(), sim.TCP8K())
 }
 
 // AblationCriticalFilter (A6) measures the Section 6 critical-miss filter:
@@ -128,14 +127,13 @@ func AblationClassicBaselines(o Options) *stats.Table {
 func AblationCriticalFilter(o Options) *stats.Table {
 	o = o.withDefaults()
 	cfg := o.simConfig()
-	plain := sim.TCP8K()
-	filtered := sim.WithCriticalFilter(sim.TCP8K())
+	fs := []sim.Factory{sim.TCP8K(), sim.WithCriticalFilter(sim.TCP8K())}
 
 	t := stats.NewTable("Ablation A6: critical-miss filter on TCP-8K",
 		"bench", "tcp-8K IPC", "tcp-8K+cf IPC", "prefetches", "prefetches+cf")
-	for _, b := range o.Benches {
-		rp := sim.MustRun(b, plain, cfg)
-		rf := sim.MustRun(b, filtered, cfg)
+	res := o.Runner.Map(GridJobs(o.Benches, fs, cfg))
+	for bi, b := range o.Benches {
+		rp, rf := res[bi*2], res[bi*2+1]
 		t.AddRow(b, fmt.Sprintf("%.3f", rp.IPC()), fmt.Sprintf("%.3f", rf.IPC()),
 			fmt.Sprintf("%d", rp.Mem.PrefetchIssued), fmt.Sprintf("%d", rf.Mem.PrefetchIssued))
 	}
@@ -149,32 +147,11 @@ func AblationCriticalFilter(o Options) *stats.Table {
 func AblationStrideAssist(o Options) *stats.Table {
 	o = o.withDefaults()
 	cfg := o.simConfig()
-	factories := []sim.Factory{
+	return improvementTable("Ablation A7: strided-sequence assist (Section 6)", o, cfg,
 		sim.Custom("tcp-2K", core.Config{HistoryDepth: 3, PHTSets: 64, PHTWays: 8}),
 		sim.Custom("tcp-2K+stride", core.Config{HistoryDepth: 3, PHTSets: 64, PHTWays: 8, StrideAssist: true}),
 		sim.Custom("tcp-8K", core.Config{HistoryDepth: 3, PHTSets: 256, PHTWays: 8}),
-		sim.Custom("tcp-8K+stride", core.Config{HistoryDepth: 3, PHTSets: 256, PHTWays: 8, StrideAssist: true}),
-	}
-	t := stats.NewTable("Ablation A7: strided-sequence assist (Section 6)",
-		append([]string{"bench", "base IPC"}, factoryNames(factories)...)...)
-	sums := make([][]float64, len(factories))
-	for _, b := range o.Benches {
-		base := sim.MustRun(b, sim.NoPrefetch(), cfg)
-		row := []string{b, fmt.Sprintf("%.3f", base.IPC())}
-		for fi, f := range factories {
-			r := sim.MustRun(b, f, cfg)
-			imp := sim.Improvement(r, base)
-			sums[fi] = append(sums[fi], 1+imp)
-			row = append(row, stats.Percent(imp))
-		}
-		t.AddRow(row...)
-	}
-	grow := []string{"geomean", ""}
-	for fi := range factories {
-		grow = append(grow, stats.Percent(stats.Geomean(sums[fi])-1))
-	}
-	t.AddRow(grow...)
-	return t
+		sim.Custom("tcp-8K+stride", core.Config{HistoryDepth: 3, PHTSets: 256, PHTWays: 8, StrideAssist: true}))
 }
 
 // AblationPlacement (A8) measures the paper's placement argument
@@ -183,28 +160,8 @@ func AblationStrideAssist(o Options) *stats.Table {
 // stream at the L2/memory boundary.
 func AblationPlacement(o Options) *stats.Table {
 	o = o.withDefaults()
-	cfg := o.simConfig()
-	factories := []sim.Factory{sim.TCP8K(), sim.AtL2Boundary(sim.TCP8K())}
-	t := stats.NewTable("Ablation A8: prefetcher placement (L1/L2 vs L2/memory boundary)",
-		append([]string{"bench", "base IPC"}, factoryNames(factories)...)...)
-	sums := make([][]float64, len(factories))
-	for _, b := range o.Benches {
-		base := sim.MustRun(b, sim.NoPrefetch(), cfg)
-		row := []string{b, fmt.Sprintf("%.3f", base.IPC())}
-		for fi, f := range factories {
-			r := sim.MustRun(b, f, cfg)
-			imp := sim.Improvement(r, base)
-			sums[fi] = append(sums[fi], 1+imp)
-			row = append(row, stats.Percent(imp))
-		}
-		t.AddRow(row...)
-	}
-	grow := []string{"geomean", ""}
-	for fi := range factories {
-		grow = append(grow, stats.Percent(stats.Geomean(sums[fi])-1))
-	}
-	t.AddRow(grow...)
-	return t
+	return improvementTable("Ablation A8: prefetcher placement (L1/L2 vs L2/memory boundary)",
+		o, o.simConfig(), sim.TCP8K(), sim.AtL2Boundary(sim.TCP8K()))
 }
 
 // AblationBranchPredictors (A9) measures how sensitive the machine (and so
@@ -226,12 +183,22 @@ func AblationBranchPredictors(o Options) stats.Series {
 		}},
 	}
 	cfg := o.simConfig()
+	// Predictors are stateful, so every job gets a freshly built instance;
+	// a custom predictor also makes the baseline non-memoisable, which is
+	// what we want here — each point must really simulate.
+	var jobs []Job
 	for _, p := range preds {
-		var ipcs []float64
 		for _, b := range o.Benches {
 			c := cfg
 			c.CPU.Predictor = p.make()
-			ipcs = append(ipcs, sim.MustRun(b, sim.NoPrefetch(), c).IPC())
+			jobs = append(jobs, Job{Bench: b, Config: c, Baseline: true})
+		}
+	}
+	res := o.Runner.Map(jobs)
+	for pi, p := range preds {
+		var ipcs []float64
+		for bi := range o.Benches {
+			ipcs = append(ipcs, res[pi*len(o.Benches)+bi].IPC())
 		}
 		s.Add(p.name, stats.Geomean(ipcs))
 	}

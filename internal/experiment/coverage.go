@@ -66,7 +66,11 @@ func CoverageComparison(o Options, factories ...sim.Factory) *stats.Table {
 	}
 	t := stats.NewTable("Prefetcher coverage and accuracy on the L1 miss stream", headers...)
 	geom := memsys.DefaultConfig().L1D
-	for _, b := range o.Benches {
+	// Each bench's capture+replay is independent: fan out across the pool
+	// and assemble rows in bench order afterwards.
+	rows := make([][]string, len(o.Benches))
+	o.Runner.ForEach(len(o.Benches), func(i int) {
+		b := o.Benches[i]
 		misses, err := CaptureMisses(b, o, 0)
 		if err != nil {
 			panic(err)
@@ -77,6 +81,9 @@ func CoverageComparison(o Options, factories ...sim.Factory) *stats.Table {
 			r := coverage.Replay(geom, pf, misses, 512)
 			row = append(row, stats.Percent(r.Coverage()), stats.Percent(r.Accuracy()))
 		}
+		rows[i] = row
+	})
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t

@@ -33,6 +33,14 @@ type Options struct {
 	Seed uint64
 	// Benches restricts the benchmark set (default: all 26 in paper order).
 	Benches []string
+	// Jobs is the simulation worker-pool width used when Runner is nil:
+	// 0 (default) uses all available cores, 1 runs strictly serially.
+	Jobs int
+	// Runner executes the experiment's simulation jobs. Leave nil to give
+	// each experiment its own Jobs-wide pool; commands share one Runner
+	// across figures so the memoised no-prefetch baselines are simulated
+	// once per invocation (see NewRunner).
+	Runner *Runner
 }
 
 func (o Options) withDefaults() Options {
@@ -47,6 +55,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Benches) == 0 {
 		o.Benches = workload.Names()
+	}
+	if o.Runner == nil {
+		o.Runner = NewRunner(o.Jobs)
 	}
 	return o
 }
@@ -73,15 +84,46 @@ func Table1() *stats.Table {
 	return t
 }
 
-// runPair runs base (no prefetch) and one factory over all benches,
-// returning the two result sets in bench order.
-func runPair(o Options, f sim.Factory) (base, with []sim.Result) {
-	cfg := o.simConfig()
-	for _, b := range o.Benches {
-		base = append(base, sim.MustRun(b, sim.NoPrefetch(), cfg))
-		with = append(with, sim.MustRun(b, f, cfg))
+// runPair submits the memoised no-prefetch baseline and every factory over
+// all benches through the runner, returning the baseline results in bench
+// order and the factory results as grid[bench][factory]. It is the runner's
+// seam: every baseline-relative figure and ablation funnels through here,
+// so all of a figure's simulation points fan out across one worker pool and
+// the baselines hit the sweep-wide cache.
+func runPair(o Options, cfg sim.Config, fs ...sim.Factory) (base []sim.Result, grid [][]sim.Result) {
+	jobs := append(BaselineJobs(o.Benches, cfg), GridJobs(o.Benches, fs, cfg)...)
+	res := o.Runner.Map(jobs)
+	base, rest := res[:len(o.Benches)], res[len(o.Benches):]
+	grid = make([][]sim.Result, len(o.Benches))
+	for bi := range o.Benches {
+		grid[bi] = rest[bi*len(fs) : (bi+1)*len(fs)]
 	}
-	return base, with
+	return base, grid
+}
+
+// improvementTable renders the standard baseline-relative figure layout: one
+// row per bench with the base IPC and each factory's improvement, closed by
+// a geomean row.
+func improvementTable(title string, o Options, cfg sim.Config, fs ...sim.Factory) *stats.Table {
+	headers := append([]string{"bench", "base IPC"}, factoryNames(fs)...)
+	t := stats.NewTable(title, headers...)
+	base, grid := runPair(o, cfg, fs...)
+	sums := make([][]float64, len(fs))
+	for bi, b := range o.Benches {
+		row := []string{b, fmt.Sprintf("%.3f", base[bi].IPC())}
+		for fi := range fs {
+			imp := sim.Improvement(grid[bi][fi], base[bi])
+			sums[fi] = append(sums[fi], 1+imp)
+			row = append(row, stats.Percent(imp))
+		}
+		t.AddRow(row...)
+	}
+	grow := []string{"geomean", ""}
+	for fi := range fs {
+		grow = append(grow, stats.Percent(stats.Geomean(sums[fi])-1))
+	}
+	t.AddRow(grow...)
+	return t
 }
 
 // Fig01IdealL2 reproduces Figure 1: per-benchmark IPC improvement with an
@@ -92,16 +134,20 @@ func Fig01IdealL2(o Options) *stats.Table {
 	idealCfg := cfg
 	idealCfg.Mem.IdealL2 = true
 
+	// Both machine variants are no-prefetch baselines; submit them as one
+	// batch so the pool interleaves them, and both sides stay memoised.
+	jobs := append(BaselineJobs(o.Benches, cfg), BaselineJobs(o.Benches, idealCfg)...)
+	res := o.Runner.Map(jobs)
+	base, ideal := res[:len(o.Benches)], res[len(o.Benches):]
+
 	t := stats.NewTable("Figure 1: potential IPC improvement with an ideal L2 data cache",
 		"bench", "base IPC", "ideal IPC", "improvement")
 	var imps []float64
-	for _, b := range o.Benches {
-		base := sim.MustRun(b, sim.NoPrefetch(), cfg)
-		ideal := sim.MustRun(b, sim.NoPrefetch(), idealCfg)
-		imp := sim.Improvement(ideal, base)
+	for bi, b := range o.Benches {
+		imp := sim.Improvement(ideal[bi], base[bi])
 		imps = append(imps, 1+imp)
-		t.AddRow(b, fmt.Sprintf("%.3f", base.IPC()),
-			fmt.Sprintf("%.3f", ideal.IPC()), stats.Percent(imp))
+		t.AddRow(b, fmt.Sprintf("%.3f", base[bi].IPC()),
+			fmt.Sprintf("%.3f", ideal[bi].IPC()), stats.Percent(imp))
 	}
 	t.AddRow("geomean", "", "", stats.Percent(stats.Geomean(imps)-1))
 	return t
@@ -111,29 +157,8 @@ func Fig01IdealL2(o Options) *stats.Table {
 // DBCP with a 2 MB correlation table, over the no-prefetch baseline.
 func Fig11IPC(o Options) *stats.Table {
 	o = o.withDefaults()
-	cfg := o.simConfig()
-	factories := []sim.Factory{sim.DBCP2M(), sim.TCP8K(), sim.TCP8M()}
-
-	t := stats.NewTable("Figure 11: IPC improvement, DBCP-2M vs TCP-8K vs TCP-8M",
-		"bench", "base IPC", "dbcp-2M", "tcp-8K", "tcp-8M")
-	sums := make([][]float64, len(factories))
-	for _, b := range o.Benches {
-		base := sim.MustRun(b, sim.NoPrefetch(), cfg)
-		row := []string{b, fmt.Sprintf("%.3f", base.IPC())}
-		for fi, f := range factories {
-			r := sim.MustRun(b, f, cfg)
-			imp := sim.Improvement(r, base)
-			sums[fi] = append(sums[fi], 1+imp)
-			row = append(row, stats.Percent(imp))
-		}
-		t.AddRow(row...)
-	}
-	grow := []string{"geomean", ""}
-	for fi := range factories {
-		grow = append(grow, stats.Percent(stats.Geomean(sums[fi])-1))
-	}
-	t.AddRow(grow...)
-	return t
+	return improvementTable("Figure 11: IPC improvement, DBCP-2M vs TCP-8K vs TCP-8M",
+		o, o.simConfig(), sim.DBCP2M(), sim.TCP8K(), sim.TCP8M())
 }
 
 // Fig12Traffic reproduces Figure 12: the composition of L2 accesses —
@@ -145,18 +170,22 @@ func Fig12Traffic(o Options) *stats.Table {
 
 	t := stats.NewTable("Figure 12: L2 access categories (normalised to original L2 accesses)",
 		"bench", "config", "prefetched original", "non-prefetched original", "prefetched extra")
+	// Factory-major to match the table's row order.
+	var jobs []Job
 	for _, f := range []sim.Factory{sim.TCP8K(), sim.TCP8M()} {
 		for _, b := range o.Benches {
-			r := sim.MustRun(b, f, cfg)
-			den := float64(r.Mem.L2Demand)
-			if den == 0 {
-				den = 1
-			}
-			t.AddRow(b, f.Name,
-				stats.Percent(float64(r.Mem.PrefetchedOriginal)/den),
-				stats.Percent(float64(r.Mem.NonPrefetchedOriginal)/den),
-				stats.Percent(float64(r.Mem.PrefetchedExtra)/den))
+			jobs = append(jobs, Job{Bench: b, Factory: f, Config: cfg})
 		}
+	}
+	for i, r := range o.Runner.Map(jobs) {
+		den := float64(r.Mem.L2Demand)
+		if den == 0 {
+			den = 1
+		}
+		t.AddRow(jobs[i].Bench, jobs[i].Factory.Name,
+			stats.Percent(float64(r.Mem.PrefetchedOriginal)/den),
+			stats.Percent(float64(r.Mem.NonPrefetchedOriginal)/den),
+			stats.Percent(float64(r.Mem.PrefetchedExtra)/den))
 	}
 	return t
 }
@@ -172,12 +201,22 @@ func Fig13PHTSize(o Options) []stats.Series {
 	out := make([]stats.Series, 2)
 	out[0].Name = "PHT index using 0 bits from miss index"
 	out[1].Name = "PHT index using full miss index"
+	var jobs []Job
 	for _, size := range PHTSizes {
-		for vi, nbits := range []int{0, 10} {
+		for _, nbits := range []int{0, 10} {
 			f := sim.TCPWithPHT(size, nbits, false)
-			var ipcs []float64
 			for _, b := range o.Benches {
-				ipcs = append(ipcs, sim.MustRun(b, f, cfg).IPC())
+				jobs = append(jobs, Job{Bench: b, Factory: f, Config: cfg})
+			}
+		}
+	}
+	res := o.Runner.Map(jobs)
+	for si, size := range PHTSizes {
+		for vi := range []int{0, 10} {
+			point := res[(si*2+vi)*len(o.Benches):][:len(o.Benches)]
+			var ipcs []float64
+			for _, r := range point {
+				ipcs = append(ipcs, r.IPC())
 			}
 			out[vi].Add(sizeName(size), stats.Geomean(ipcs))
 		}
@@ -198,13 +237,12 @@ func Fig13IndexBits(o Options) stats.Series {
 	o = o.withDefaults()
 	cfg := o.simConfig()
 	s := stats.Series{Name: "mean IPC vs miss-index bits (8KB PHT)"}
+	var fs []sim.Factory
 	for bits := 0; bits <= 3; bits++ {
-		f := sim.TCPWithPHT(8<<10, bits, false)
-		var ipcs []float64
-		for _, b := range o.Benches {
-			ipcs = append(ipcs, sim.MustRun(b, f, cfg).IPC())
-		}
-		s.Add(fmt.Sprintf("n=%d", bits), stats.Geomean(ipcs))
+		fs = append(fs, sim.TCPWithPHT(8<<10, bits, false))
+	}
+	for bits, ipc := range meanIPCs(o, cfg, fs...) {
+		s.Add(fmt.Sprintf("n=%d", bits), ipc)
 	}
 	return s
 }
@@ -213,20 +251,6 @@ func Fig13IndexBits(o Options) stats.Series {
 // the hybrid that also promotes into L1 once the victim is predicted dead.
 func Fig14Hybrid(o Options) *stats.Table {
 	o = o.withDefaults()
-	cfg := o.simConfig()
-
-	t := stats.NewTable("Figure 14: prefetch into L2 (TCP-8K) vs into L1 (Hybrid-8K)",
-		"bench", "base IPC", "tcp-8K", "hybrid-8K")
-	var k, h []float64
-	for _, b := range o.Benches {
-		base := sim.MustRun(b, sim.NoPrefetch(), cfg)
-		rk := sim.MustRun(b, sim.TCP8K(), cfg)
-		rh := sim.MustRun(b, sim.Hybrid8K(), cfg)
-		ik, ih := sim.Improvement(rk, base), sim.Improvement(rh, base)
-		k = append(k, 1+ik)
-		h = append(h, 1+ih)
-		t.AddRow(b, fmt.Sprintf("%.3f", base.IPC()), stats.Percent(ik), stats.Percent(ih))
-	}
-	t.AddRow("geomean", "", stats.Percent(stats.Geomean(k)-1), stats.Percent(stats.Geomean(h)-1))
-	return t
+	return improvementTable("Figure 14: prefetch into L2 (TCP-8K) vs into L1 (Hybrid-8K)",
+		o, o.simConfig(), sim.TCP8K(), sim.Hybrid8K())
 }

@@ -53,16 +53,21 @@ func ProfileBench(bench string, o Options) (profiler.Summary, error) {
 }
 
 // ProfileAll profiles every benchmark in o.Benches. The result feeds all of
-// Figures 2-7 and 15 from a single simulation pass per benchmark.
+// Figures 2-7 and 15 from a single simulation pass per benchmark; the
+// passes are independent and fan out across the runner's worker pool.
 func ProfileAll(o Options) map[string]profiler.Summary {
 	o = o.withDefaults()
-	out := make(map[string]profiler.Summary, len(o.Benches))
-	for _, b := range o.Benches {
-		s, err := ProfileBench(b, o)
+	summaries := make([]profiler.Summary, len(o.Benches))
+	o.Runner.ForEach(len(o.Benches), func(i int) {
+		s, err := ProfileBench(o.Benches[i], o)
 		if err != nil {
 			panic(err)
 		}
-		out[b] = s
+		summaries[i] = s
+	})
+	out := make(map[string]profiler.Summary, len(o.Benches))
+	for i, b := range o.Benches {
+		out[b] = summaries[i]
 	}
 	return out
 }

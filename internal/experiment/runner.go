@@ -1,0 +1,232 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tagprefetch/internal/memsys"
+	"tagprefetch/internal/sim"
+)
+
+// Job is one simulation point of an experiment grid: a benchmark, a
+// prefetcher configuration and a machine configuration. Jobs are pure —
+// every run constructs its own workload generator from Config.Seed and its
+// own machine state — so they may execute on any worker in any order and
+// still produce the exact result a serial run would.
+type Job struct {
+	Bench   string
+	Factory sim.Factory
+	// Config carries the per-job seed: the workload generator is derived
+	// from Config.Seed inside the worker, never from shared RNG state.
+	Config sim.Config
+	// Baseline marks the job as a no-prefetch baseline run. Factory is
+	// ignored; the result is memoised on (Bench, Config) across every Map
+	// call on the same Runner, so a sweep simulates each baseline point
+	// once per invocation instead of once per figure or row.
+	Baseline bool
+}
+
+// BaselineJobs returns one memoised no-prefetch job per benchmark.
+func BaselineJobs(benches []string, cfg sim.Config) []Job {
+	jobs := make([]Job, len(benches))
+	for i, b := range benches {
+		jobs[i] = Job{Bench: b, Config: cfg, Baseline: true}
+	}
+	return jobs
+}
+
+// GridJobs returns the bench-major (bench, factory) product: job i*len(fs)+j
+// runs benches[i] under fs[j].
+func GridJobs(benches []string, fs []sim.Factory, cfg sim.Config) []Job {
+	jobs := make([]Job, 0, len(benches)*len(fs))
+	for _, b := range benches {
+		for _, f := range fs {
+			jobs = append(jobs, Job{Bench: b, Factory: f, Config: cfg})
+		}
+	}
+	return jobs
+}
+
+// Runner executes simulation jobs across a pool of workers and memoises
+// no-prefetch baseline results. One Runner should be shared across every
+// figure/ablation of a command invocation: the pool bounds concurrency
+// globally and the baseline cache then spans figures, so `tcpfigs -exp all`
+// simulates each benchmark's baseline once rather than once per figure.
+//
+// Determinism: results are returned in submission order and each job seeds
+// its own workload generator, so a Runner with N workers produces tables
+// byte-identical to a Runner with 1 worker (which executes jobs strictly
+// serially on the calling goroutine, with no goroutines at all).
+type Runner struct {
+	workers int
+
+	mu       sync.Mutex
+	baseline map[baselineKey]*baselineEntry
+
+	baselineRuns   atomic.Uint64
+	baselineReuses atomic.Uint64
+}
+
+// NewRunner creates a pool of the given width; jobs <= 0 uses all
+// available cores (runtime.GOMAXPROCS), jobs == 1 is strictly serial.
+func NewRunner(jobs int) *Runner {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: jobs, baseline: make(map[baselineKey]*baselineEntry)}
+}
+
+// Jobs returns the pool width.
+func (r *Runner) Jobs() int { return r.workers }
+
+// BaselineStats reports baseline-cache effectiveness: simulated is the
+// number of baseline points actually run, reused how many submissions were
+// answered from the cache (or coalesced onto an in-flight run).
+func (r *Runner) BaselineStats() (simulated, reused uint64) {
+	return r.baselineRuns.Load(), r.baselineReuses.Load()
+}
+
+type baselineEntry struct {
+	once sync.Once
+	res  sim.Result
+}
+
+// cpuKey is the comparable subset of cpu.Config (the Predictor and
+// OnLoadRetire fields make the struct itself unusable as a map key).
+type cpuKey struct {
+	issueWidth, ruuSize, lsqSize             int
+	intALU, intMult, fpALU, fpMult, memPorts int
+	redirectPenalty                          int64
+}
+
+type baselineKey struct {
+	bench        string
+	instructions uint64
+	warmup       uint64
+	noWarmup     bool
+	seed         uint64
+	cpu          cpuKey
+	mem          memsys.Config
+}
+
+// baselineKeyFor fingerprints a baseline job's configuration. Configs that
+// carry behaviour the key cannot capture — a custom branch predictor
+// instance, a retirement callback, or per-run telemetry — are not
+// memoisable and report ok == false.
+func baselineKeyFor(j Job) (key baselineKey, ok bool) {
+	c := j.Config
+	if c.CPU.Predictor != nil || c.CPU.OnLoadRetire != nil || c.Telemetry != nil {
+		return baselineKey{}, false
+	}
+	c = c.Normalized()
+	return baselineKey{
+		bench:        j.Bench,
+		instructions: c.Instructions,
+		warmup:       c.Warmup,
+		noWarmup:     c.NoWarmup,
+		seed:         c.Seed,
+		cpu: cpuKey{
+			issueWidth: c.CPU.IssueWidth, ruuSize: c.CPU.RUUSize, lsqSize: c.CPU.LSQSize,
+			intALU: c.CPU.IntALU, intMult: c.CPU.IntMult, fpALU: c.CPU.FPALU,
+			fpMult: c.CPU.FPMult, memPorts: c.CPU.MemPorts,
+			redirectPenalty: c.CPU.RedirectPenalty,
+		},
+		mem: c.Mem.WithDefaults(),
+	}, true
+}
+
+// Map executes all jobs across the pool and returns their results in
+// submission order. A panic inside any job (e.g. an unknown benchmark) is
+// re-raised on the calling goroutine after the pool drains, preserving
+// MustRun semantics.
+func (r *Runner) Map(jobs []Job) []sim.Result {
+	results := make([]sim.Result, len(jobs))
+	r.ForEach(len(jobs), func(i int) {
+		results[i] = r.run(jobs[i])
+	})
+	return results
+}
+
+func (r *Runner) run(j Job) sim.Result {
+	if !j.Baseline {
+		return sim.MustRun(j.Bench, j.Factory, j.Config)
+	}
+	key, ok := baselineKeyFor(j)
+	if !ok {
+		return sim.MustRun(j.Bench, sim.NoPrefetch(), j.Config)
+	}
+	r.mu.Lock()
+	e := r.baseline[key]
+	if e == nil {
+		e = &baselineEntry{}
+		r.baseline[key] = e
+	} else {
+		r.baselineReuses.Add(1)
+	}
+	r.mu.Unlock()
+	// once.Do coalesces duplicate in-flight submissions onto one run;
+	// latecomers block until the result is ready.
+	e.once.Do(func() {
+		r.baselineRuns.Add(1)
+		e.res = sim.MustRun(j.Bench, sim.NoPrefetch(), j.Config)
+	})
+	return e.res
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the pool. It is the
+// generic seam for non-Job work (the profiling and coverage passes). With a
+// single worker it degenerates to a plain loop on the calling goroutine.
+func (r *Runner) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+		panicIdx = -1
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panicMu.Lock()
+							if panicIdx < 0 || i < panicIdx {
+								panicVal, panicIdx = p, i
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	// Re-raise the earliest panic by submission order so parallel and
+	// serial runs fail identically.
+	if panicIdx >= 0 {
+		panic(panicVal)
+	}
+}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchOptions is the Figure 13 (top) PHT-size sweep at a reduced but
+// non-trivial scale: 3 benches x 6 sizes x 2 variants plus baselines.
+func benchOptions(jobs int) Options {
+	return Options{Instructions: 100_000, Warmup: 200_000,
+		Benches: []string{"swim", "art", "mcf"}, Jobs: jobs}
+}
+
+// BenchmarkFig13SizeSweep measures the wall-clock effect of the parallel
+// runner on the Figure 13 size sweep. Run with:
+//
+//	go test ./internal/experiment -bench Fig13SizeSweep -benchtime 3x
+//
+// The /jobs-N variant must come in at least 2x faster than /serial on a
+// multi-core machine (see docs/PARALLELISM.md for a recorded run).
+func BenchmarkFig13SizeSweep(b *testing.B) {
+	for _, jobs := range []int{1, runtime.GOMAXPROCS(0)} {
+		name := "serial"
+		if jobs != 1 {
+			name = fmt.Sprintf("jobs-%d", jobs)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Fig13PHTSize(benchOptions(jobs))
+			}
+		})
+	}
+}
+
+// BenchmarkFigureSuiteBaselineCache measures the memoised baseline cache on
+// a baseline-heavy figure suite (the tcpfigs -exp all situation): "fresh"
+// gives every figure its own runner (the pre-cache behaviour, each figure
+// re-simulating the no-prefetch points), "shared" reuses one runner so each
+// bench's baseline is simulated once for the whole suite.
+func BenchmarkFigureSuiteBaselineCache(b *testing.B) {
+	suite := func(o Options) {
+		Fig11IPC(o)
+		Fig14Hybrid(o)
+		AblationCriticalFilter(o)
+		AblationStrideAssist(o)
+	}
+	b.Run("fresh-runner-per-figure", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := benchOptions(1)
+			suite(o) // withDefaults makes a fresh runner inside each figure
+		}
+	})
+	b.Run("shared-runner", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := benchOptions(1)
+			o.Runner = NewRunner(1)
+			suite(o)
+		}
+	})
+}

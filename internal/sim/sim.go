@@ -50,6 +50,12 @@ type Config struct {
 	Telemetry *telemetry.Run
 }
 
+// Normalized resolves every defaulted field to its effective value (the
+// config RunSpec actually simulates), so that two configs describing the
+// same machine compare equal — the experiment runner keys its baseline
+// cache on this.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Instructions == 0 {
 		c.Instructions = 1_000_000
@@ -204,7 +210,9 @@ func Custom(name string, cfg core.Config) Factory {
 	}}
 }
 
-// Result summarises one simulation.
+// Result summarises one simulation. Every counter group (CPU, Mem, L1, L2)
+// covers the measured window only: warmup activity is snapshotted at the
+// phase boundary and subtracted.
 type Result struct {
 	Benchmark  string
 	Prefetcher string
@@ -274,9 +282,15 @@ func RunSpec(spec workload.Spec, f Factory, cfg Config) Result {
 		attachTelemetry(tel, mem, coreM, cfg)
 	}
 
+	// All of Result's counters report the measured window: the hierarchy
+	// and per-cache stats are snapshotted at the warmup/measure boundary
+	// and subtracted, so Result.L1/Result.L2 agree with Result.Mem.
 	var memAtBoundary memsys.Stats
+	var l1AtBoundary, l2AtBoundary cache.Stats
 	cpuRes := coreM.RunMeasured(gen, cfg.Warmup, cfg.Instructions, func(cycle int64) {
 		memAtBoundary = mem.Stats()
+		l1AtBoundary = mem.L1Stats()
+		l2AtBoundary = mem.L2Stats()
 		if tel != nil && tel.Sampler != nil {
 			tel.Sampler.MarkPhase("measure", cycle, cfg.Warmup)
 		}
@@ -292,8 +306,8 @@ func RunSpec(spec workload.Spec, f Factory, cfg Config) Result {
 		Prefetcher:            f.Name,
 		CPU:                   cpuRes,
 		Mem:                   memStats,
-		L1:                    mem.L1Stats(),
-		L2:                    mem.L2Stats(),
+		L1:                    mem.L1Stats().Sub(l1AtBoundary),
+		L2:                    mem.L2Stats().Sub(l2AtBoundary),
 		PrefetcherStorageBits: pf.StorageBits(),
 	}
 }

@@ -189,3 +189,39 @@ func TestAtL2BoundaryFactory(t *testing.T) {
 		t.Errorf("no prefetches at L2 boundary: %+v", r.Mem)
 	}
 }
+
+// TestMeasurementWindowConsistency pins the measured-window accounting:
+// every counter group in a Result — Mem, L1, L2 — must cover exactly the
+// measured instructions, with warmup activity subtracted. Before the fix,
+// L1/L2 were cumulative (warmup included) while Mem was not, so the same
+// event counted differently depending on which group it was read from.
+func TestMeasurementWindowConsistency(t *testing.T) {
+	warm := MustRun("swim", NoPrefetch(), Config{Instructions: 100_000, Warmup: 300_000})
+	if warm.L1.Misses != warm.Mem.L1Misses {
+		t.Errorf("L1.Misses = %d but Mem.L1Misses = %d; cache stats still cumulative?",
+			warm.L1.Misses, warm.Mem.L1Misses)
+	}
+	if warm.L1.Accesses != warm.Mem.Accesses {
+		t.Errorf("L1.Accesses = %d but Mem.Accesses = %d",
+			warm.L1.Accesses, warm.Mem.Accesses)
+	}
+	// Mem.L2Misses counts demand misses only, so the cache-level counter
+	// (which also sees writeback traffic) bounds it from above — but both
+	// must describe the same window, so the gap stays small.
+	if warm.L2.Misses < warm.Mem.L2Misses {
+		t.Errorf("L2.Misses = %d below demand-only Mem.L2Misses = %d",
+			warm.L2.Misses, warm.Mem.L2Misses)
+	}
+
+	// A warmed run's measured window must see strictly less traffic than
+	// the whole (warmup+measure) execution it is embedded in.
+	whole := MustRun("swim", NoPrefetch(), Config{Instructions: 400_000, NoWarmup: true})
+	if warm.L1.Accesses >= whole.L1.Accesses {
+		t.Errorf("measured-window L1 accesses %d not below whole-run %d",
+			warm.L1.Accesses, whole.L1.Accesses)
+	}
+	if warm.L2.Accesses >= whole.L2.Accesses {
+		t.Errorf("measured-window L2 accesses %d not below whole-run %d",
+			warm.L2.Accesses, whole.L2.Accesses)
+	}
+}
