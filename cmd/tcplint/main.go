@@ -1,0 +1,152 @@
+// Command tcplint is the repo's static-analysis driver: it runs the
+// internal/analysis suite (detmap, notime, hotalloc, statreg) over the
+// module, enforcing at compile time the two contracts the simulator's
+// results rest on — bit-identical reproducibility from a seed, and
+// zero-allocation hot paths. CI runs it next to go vet; run it locally
+// with
+//
+//	go run ./cmd/tcplint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load or internal errors. Findings
+// are printed in the go vet file:line:col format. See
+// docs/STATIC_ANALYSIS.md for the analyzer catalogue and the suppression
+// syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+
+	"tagprefetch/internal/analysis"
+	"tagprefetch/internal/analysis/detmap"
+	"tagprefetch/internal/analysis/hotalloc"
+	"tagprefetch/internal/analysis/load"
+	"tagprefetch/internal/analysis/notime"
+	"tagprefetch/internal/analysis/statreg"
+)
+
+// analyzers is the suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	detmap.Analyzer,
+	notime.Analyzer,
+	hotalloc.Analyzer,
+	statreg.Analyzer,
+}
+
+// simPackageRE matches the packages that hold simulator state or feed
+// experiment results: the determinism analyzers (detmap, notime) run only
+// there. Host-side tooling — telemetry's wall-clock run reports, pprof
+// plumbing, and the analysis suite itself — is exempt; the cmd/ binaries
+// are included because table and JSON output order is part of a
+// reproducible run.
+var simPackageRE = regexp.MustCompile(`^tagprefetch(/cmd/[^/]+)?$|` +
+	`^tagprefetch/internal/(addr|branch|bus|cache|core|coverage|cpu|critical|dbcp|deadblock|dram|experiment|memsys|prefetch|profiler|sim|stats|trace|workload|xrand)$`)
+
+// runsOn reports whether analyzer a applies to package path.
+func runsOn(a *analysis.Analyzer, path string) bool {
+	switch a.Name {
+	case "detmap", "notime":
+		return simPackageRE.MatchString(path)
+	default:
+		// hotalloc is gated by //tcp:hotpath markers and statreg by
+		// telemetry usage, so both run everywhere.
+		return true
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("tcplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	verbose := fs.Bool("v", false, "report the number of packages analyzed")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tcplint [flags] [packages]\n\nEnforces simulator determinism and hot-path invariants.\nSee docs/STATIC_ANALYSIS.md.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "tcplint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "tcplint:", err)
+		return 2
+	}
+	pkgs, err := load.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "tcplint:", err)
+		return 2
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range selected {
+			if !runsOn(a, pkg.Path) {
+				continue
+			}
+			ds, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				fmt.Fprintf(stderr, "tcplint: %s: %v\n", pkg.Path, err)
+				return 2
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if *verbose {
+		fmt.Fprintf(stderr, "tcplint: %d packages, %d analyzers, %d findings\n",
+			len(pkgs), len(selected), len(diags))
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only flag against the suite.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run tcplint -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: an Analyzer is a named check with a Run
+// function over a typechecked package (a Pass), reporting Diagnostics.
+//
+// The repo cannot vendor x/tools (the build is fully offline), so this
+// package re-implements the subset the tcplint suite needs — single-package
+// analyzers, position-accurate diagnostics, and suppression comments — on
+// top of the standard library. The API is shaped after x/tools so analyzers
+// can migrate to the real framework mechanically if the dependency ever
+// lands.
+//
+// # Suppression comments
+//
+// A diagnostic is suppressed by a staticcheck-style comment
+//
+//	//lint:ignore tcplint/<name>[,tcplint/<name>...] <justification>
+//
+// placed either at the end of the offending line or alone on the line
+// immediately above it. The justification is mandatory: an ignore comment
+// without one does not suppress, and instead produces its own diagnostic,
+// so every silenced finding carries an auditable reason. The check list may
+// be "all" to silence every tcplint analyzer on that line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. Name is the identifier used in
+// diagnostics and suppression comments; Doc is the help text shown by
+// `tcplint -list`.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one typechecked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	suppress map[suppressKey]*suppression
+	diags    []Diagnostic
+}
+
+type suppressKey struct {
+	file string
+	line int
+}
+
+type suppression struct {
+	checks []string // analyzer names, or "all"
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "//lint:ignore "
+
+// checkPrefix namespaces this suite's analyzers in suppression comments.
+const checkPrefix = "tcplint/"
+
+// NewPass builds a Pass for one analyzer over a typechecked package,
+// indexing suppression comments by the line they apply to.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		suppress:  make(map[suppressKey]*suppression),
+	}
+	for _, f := range files {
+		p.indexSuppressions(f)
+	}
+	return p
+}
+
+// indexSuppressions records each //lint:ignore comment under the source
+// line it governs: its own line for a trailing comment, the following line
+// for a comment that stands alone.
+func (p *Pass) indexSuppressions(f *ast.File) {
+	codeLines := p.codeLines(f)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+			checks, reason, _ := strings.Cut(rest, " ")
+			pos := p.Fset.Position(c.Pos())
+			s := &suppression{
+				checks: strings.Split(checks, ","),
+				reason: strings.TrimSpace(reason),
+				pos:    pos,
+			}
+			line := pos.Line
+			if !codeLines[line] {
+				line++ // standalone comment governs the next line
+			}
+			p.suppress[suppressKey{pos.Filename, line}] = s
+		}
+	}
+}
+
+// codeLines returns the set of lines holding at least one non-comment
+// token, so a suppression comment can tell whether it trails code or
+// stands alone. Every code token starts some AST node, so marking node
+// start/end lines covers all of them.
+func (p *Pass) codeLines(f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return false
+		case *ast.Comment, *ast.CommentGroup:
+			return false // doc comments are attached to decls; not code
+		}
+		lines[p.Fset.Position(n.Pos()).Line] = true
+		lines[p.Fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// Reportf records a diagnostic at pos unless a justified suppression
+// comment covers that line for this analyzer. An ignore comment matching
+// the analyzer but missing a justification reports its own diagnostic (once
+// per comment per analyzer) and does not suppress.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if s, ok := p.suppress[suppressKey{position.Filename, position.Line}]; ok && s.matches(p.Analyzer.Name) {
+		if s.reason != "" {
+			s.used = true
+			return
+		}
+		if !s.used {
+			s.used = true
+			p.diags = append(p.diags, Diagnostic{
+				Pos:      position,
+				Analyzer: p.Analyzer.Name,
+				Message:  "lint:ignore comment needs a justification after the check list; the finding is not suppressed",
+			})
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (s *suppression) matches(analyzer string) bool {
+	for _, c := range s.checks {
+		c = strings.TrimSpace(c)
+		if c == "all" || c == checkPrefix+"all" || c == checkPrefix+analyzer || c == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostics returns the findings recorded so far, sorted by position.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.Slice(p.diags, func(i, j int) bool {
+		a, b := p.diags[i], p.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return p.diags
+}
+
+// Preorder walks every file's AST in depth-first preorder, calling fn for
+// each node. fn returning false prunes the subtree.
+func (p *Pass) Preorder(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Run executes one analyzer over a typechecked package and returns its
+// surviving diagnostics.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := NewPass(a, fset, files, pkg, info)
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return pass.Diagnostics(), nil
+}

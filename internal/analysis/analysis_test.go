@@ -1,0 +1,178 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"tagprefetch/internal/analysis"
+)
+
+// flagEveryIdent reports on every identifier named "flagme", giving the
+// tests a deterministic diagnostic source to aim suppressions at.
+var flagEveryIdent = &analysis.Analyzer{
+	Name: "testcheck",
+	Doc:  "flags identifiers named flagme",
+	Run: func(pass *analysis.Pass) error {
+		pass.Preorder(func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "flagme" {
+				pass.Reportf(id.Pos(), "found flagme")
+			}
+			return true
+		})
+		return nil
+	},
+}
+
+// runOn typechecks src as a single-file package and runs flagEveryIdent.
+func runOn(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	cfg := types.Config{Importer: importer.Default()}
+	pkg, err := cfg.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	diags, err := analysis.Run(flagEveryIdent, fset, []*ast.File{f}, pkg, info)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+func messages(diags []analysis.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+func TestReportsWithoutSuppression(t *testing.T) {
+	diags := runOn(t, `package p
+var flagme int
+`)
+	if len(diags) != 1 || diags[0].Message != "found flagme" {
+		t.Fatalf("got %v, want one 'found flagme'", messages(diags))
+	}
+	if diags[0].Pos.Line != 2 {
+		t.Fatalf("diagnostic at line %d, want 2", diags[0].Pos.Line)
+	}
+	if diags[0].Analyzer != "testcheck" {
+		t.Fatalf("analyzer = %q, want testcheck", diags[0].Analyzer)
+	}
+}
+
+func TestTrailingSuppression(t *testing.T) {
+	diags := runOn(t, `package p
+var flagme int //lint:ignore tcplint/testcheck the test needs this name
+`)
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want no diagnostics", messages(diags))
+	}
+}
+
+func TestStandaloneSuppression(t *testing.T) {
+	diags := runOn(t, `package p
+
+//lint:ignore tcplint/testcheck the test needs this name
+var flagme int
+`)
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want no diagnostics", messages(diags))
+	}
+}
+
+func TestStandaloneSuppressionOnlyCoversNextLine(t *testing.T) {
+	diags := runOn(t, `package p
+
+//lint:ignore tcplint/testcheck only the next line is covered
+var flagme1 int
+var flagme int
+`)
+	if len(diags) != 1 {
+		t.Fatalf("got %v, want exactly one diagnostic", messages(diags))
+	}
+	if diags[0].Pos.Line != 5 {
+		t.Fatalf("diagnostic at line %d, want 5 (line 4 is suppressed)", diags[0].Pos.Line)
+	}
+}
+
+func TestMissingJustificationDoesNotSuppress(t *testing.T) {
+	diags := runOn(t, `package p
+var flagme int //lint:ignore tcplint/testcheck
+`)
+	if len(diags) != 2 {
+		t.Fatalf("got %v, want the finding plus the bare-comment diagnostic", messages(diags))
+	}
+	var sawFinding, sawComplaint bool
+	for _, d := range diags {
+		switch {
+		case d.Message == "found flagme":
+			sawFinding = true
+		case strings.Contains(d.Message, "needs a justification"):
+			sawComplaint = true
+		}
+	}
+	if !sawFinding || !sawComplaint {
+		t.Fatalf("got %v, want both the finding and the justification complaint", messages(diags))
+	}
+}
+
+func TestWrongCheckNameDoesNotSuppress(t *testing.T) {
+	diags := runOn(t, `package p
+var flagme int //lint:ignore tcplint/othercheck reason is present but the check name is wrong
+`)
+	if len(diags) != 1 || diags[0].Message != "found flagme" {
+		t.Fatalf("got %v, want the finding to survive", messages(diags))
+	}
+}
+
+func TestCheckListAndAll(t *testing.T) {
+	for _, checks := range []string{
+		"tcplint/othercheck,tcplint/testcheck",
+		"tcplint/all",
+		"all",
+	} {
+		src := "package p\nvar flagme int //lint:ignore " + checks + " justified\n"
+		if diags := runOn(t, src); len(diags) != 0 {
+			t.Errorf("checks %q: got %v, want suppression", checks, messages(diags))
+		}
+	}
+}
+
+func TestDiagnosticsSorted(t *testing.T) {
+	diags := runOn(t, `package p
+var flagme2 = flagme
+var flagme int
+`)
+	if len(diags) != 2 {
+		t.Fatalf("got %v, want two diagnostics", messages(diags))
+	}
+	if diags[0].Pos.Line > diags[1].Pos.Line {
+		t.Fatalf("diagnostics out of order: %v then %v", diags[0].Pos, diags[1].Pos)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	diags := runOn(t, `package p
+var flagme int
+`)
+	s := diags[0].String()
+	if !strings.Contains(s, "src.go:2:") || !strings.Contains(s, "[testcheck]") {
+		t.Fatalf("String() = %q, want position and analyzer tag", s)
+	}
+}

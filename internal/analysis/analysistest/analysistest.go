@@ -1,0 +1,233 @@
+// Package analysistest runs a tcplint analyzer over fixture packages and
+// checks its diagnostics against inline expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib only.
+//
+// Fixtures live under <analyzer package>/testdata/src/<pkg>/. A line that
+// should be diagnosed carries a trailing comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// with one quoted regexp per expected diagnostic on that line. Every
+// diagnostic must be matched by a want and every want by a diagnostic.
+// Fixture imports (standard library or module packages such as
+// tagprefetch/internal/telemetry) are resolved through `go list -export`
+// export data, so the harness is fully offline.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tagprefetch/internal/analysis"
+	"tagprefetch/internal/analysis/load"
+)
+
+// Run analyzes each fixture package under dir/src (dir is usually
+// "testdata") and reports mismatches against the // want expectations as
+// test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, a, filepath.Join(dir, "src", pkg), pkg)
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	pkg, info, err := typecheck(fset, files, pkgPath)
+	if err != nil {
+		t.Fatalf("%s: typecheck: %v", pkgPath, err)
+	}
+	diags, err := analysis.Run(a, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	check(t, fset, files, diags, pkgPath)
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// typecheck typechecks the fixture, resolving its imports through export
+// data listed by the go command at the module root.
+func typecheck(fset *token.FileSet, files []*ast.File, pkgPath string) (*types.Package, *types.Info, error) {
+	imports := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[path] = true
+			}
+		}
+	}
+	exports, err := exportData(sortedKeys(imports))
+	if err != nil {
+		return nil, nil, err
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("fixture imports %q, not resolved by go list", path)
+		}
+		return os.Open(f)
+	})
+	info := load.NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// exportData maps each import path (plus its dependency closure) to its
+// export-data file.
+func exportData(paths []string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := load.List(root, append([]string{"-deps", "-export"}, paths...))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// wantRE extracts the quoted regexps of a want comment.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// check compares diagnostics against // want comments, both grouped by
+// (file base name, line).
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic, pkgPath string) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, q := range wantRE.FindAllString(text[len("want "):], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", key, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, pat, err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pkgPath, d)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: %s: expected diagnostic matching %q, got none", pkgPath, k, w.re)
+			}
+		}
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,175 @@
+// Package detmap flags range statements whose iteration order is
+// randomized by the runtime: ranging directly over a map, or over the
+// maps.Keys/maps.Values iterators. In a timing simulator any such loop
+// that touches simulator state or accumulates into results makes runs
+// irreproducible — the exact bug class behind the Hybrid-8K deadblock
+// predictor's nondeterministic IPC (the predictor evicted whichever key a
+// map range yielded first).
+//
+// The fix is to iterate a sorted key slice (or a deterministic structure
+// such as a ring or an ordered slice); loops whose body is provably
+// order-independent (pure reductions like count/min/sum, or draining
+// deletes) may instead carry a justified suppression:
+//
+//	//lint:ignore tcplint/detmap <why order cannot matter>
+package detmap
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tagprefetch/internal/analysis"
+)
+
+// Analyzer flags nondeterministically-ordered range loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc: "flags range over a map (or maps.Keys/maps.Values), whose order is randomized; " +
+		"iterate sorted keys or a deterministic structure instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	sorted := sortedSlices(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			if isCollectThenSort(pass, rs, sorted) {
+				return true // the canonical fix: gather keys, sort, iterate
+			}
+			pass.Reportf(rs.Pos(), "range over map %s iterates in nondeterministic order; "+
+				"iterate sorted keys (or a deterministic structure) so simulator runs are reproducible",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			return true
+		}
+		if name := mapIterator(pass, rs.X); name != "" {
+			pass.Reportf(rs.Pos(), "range over maps.%s iterates in nondeterministic order; "+
+				"sort the result (e.g. slices.Sorted(maps.Keys(m))) before ranging", name)
+		}
+		return true
+	})
+}
+
+// sortedSlices collects the variables passed as the primary argument to a
+// sort call (sort.Strings/Ints/Float64s/Slice/SliceStable/Sort,
+// slices.Sort/SortFunc/SortStableFunc) anywhere in the function.
+func sortedSlices(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if !strings.HasPrefix(obj.Name(), "Sort") && !sortHelpers[obj.Name()] {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if target := pass.TypesInfo.Uses[id]; target != nil {
+				out[target] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortHelpers are the sort-package convenience functions whose argument
+// ends up ordered.
+var sortHelpers = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true, "Slice": true,
+	"SliceStable": true, "Stable": true,
+}
+
+// isCollectThenSort reports whether rs is the gather half of the
+// collect-then-sort idiom: every statement in its body appends the range
+// key or value to a slice that the enclosing function later sorts, so the
+// map's iteration order never escapes.
+func isCollectThenSort(pass *analysis.Pass, rs *ast.RangeStmt, sorted map[types.Object]bool) bool {
+	if len(sorted) == 0 || len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		target := pass.TypesInfo.Uses[lhs]
+		if target == nil {
+			target = pass.TypesInfo.Defs[lhs]
+		}
+		if target == nil || !sorted[target] {
+			return false
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+			return false
+		}
+	}
+	return true
+}
+
+// mapIterator reports whether e is a direct call to maps.Keys or
+// maps.Values from the standard library, returning the function name.
+func mapIterator(pass *analysis.Pass, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "maps" {
+		return ""
+	}
+	if obj.Name() == "Keys" || obj.Name() == "Values" {
+		return obj.Name()
+	}
+	return ""
+}

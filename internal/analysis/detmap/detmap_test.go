@@ -1,0 +1,12 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"tagprefetch/internal/analysis/analysistest"
+	"tagprefetch/internal/analysis/detmap"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, detmap.Analyzer, "testdata", "a", "deadblockrepro")
+}

@@ -1,0 +1,98 @@
+// Package a exercises the detmap analyzer: plain map ranges, the
+// maps.Keys/maps.Values iterators, the collect-then-sort exemption, and
+// suppression-comment handling.
+package a
+
+import (
+	"maps"
+	"slices"
+	"sort"
+)
+
+// rangeMap is the basic violation.
+func rangeMap(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map map\[string\]int iterates in nondeterministic order`
+		total += v
+	}
+	return total
+}
+
+// rangeKeysIterator flags the stdlib map iterators too.
+func rangeKeysIterator(m map[string]int) {
+	for range maps.Keys(m) { // want `range over maps\.Keys iterates in nondeterministic order`
+	}
+	for range maps.Values(m) { // want `range over maps\.Values iterates in nondeterministic order`
+	}
+}
+
+// collectThenSort is the canonical fix and must not be flagged: the map
+// order never escapes because the key slice is sorted before use.
+func collectThenSort(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// sortedIterator uses slices.Sorted over maps.Keys: the range is over the
+// returned sorted slice, not the iterator, so it is deterministic.
+func sortedIterator(m map[string]int) []string {
+	var out []string
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectWithoutSort gathers keys but never sorts them, so the map order
+// escapes through the slice.
+func collectWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map map\[string\]int iterates in nondeterministic order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// suppressed demonstrates a justified suppression: no diagnostic.
+func suppressed(m map[uint64]int64) int64 {
+	var min int64
+	//lint:ignore tcplint/detmap min over values is an order-independent reduction
+	for _, v := range m {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// suppressedTrailing is the trailing-comment form of a suppression.
+func suppressedTrailing(m map[uint64]int64) int {
+	n := 0
+	for range m { //lint:ignore tcplint/detmap counting entries is order-independent
+		n++
+	}
+	return n
+}
+
+// unjustified has an ignore comment without a reason: the finding is kept
+// and the comment itself is called out.
+func unjustified(m map[string]int) {
+	//lint:ignore tcplint/detmap
+	for range m { // want `lint:ignore comment needs a justification` `range over map`
+	}
+}
+
+// wrongCheck suppresses a different analyzer, so detmap still fires.
+func wrongCheck(m map[string]int) {
+	//lint:ignore tcplint/notime the wrong check name does not suppress detmap
+	for range m { // want `range over map`
+	}
+}

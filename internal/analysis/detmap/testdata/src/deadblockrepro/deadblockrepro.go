@@ -1,0 +1,47 @@
+// Package deadblockrepro reproduces the PR 2 Hybrid-8K nondeterminism bug
+// that motivated detmap: the dead-block predictor bounded its lifetime
+// table by deleting "some" entry, picked by ranging the map and breaking
+// after the first key. Map iteration order is randomized per run, so two
+// identical simulations evicted different predictor entries and reported
+// different IPCs. detmap must flag the eviction loop; the fixed predictor
+// uses a FIFO ring (a deterministic structure) instead.
+package deadblockrepro
+
+// predictor is the shape of the buggy PR 2 dead-block predictor table.
+type predictor struct {
+	live    map[uint64]int64
+	entries int
+}
+
+// onEvictBuggy is the bug: the evicted key depends on map iteration order.
+func (p *predictor) onEvictBuggy(id uint64, liveTime int64) {
+	if _, ok := p.live[id]; !ok && len(p.live) >= p.entries {
+		for victim := range p.live { // want `range over map map\[uint64\]int64 iterates in nondeterministic order`
+			delete(p.live, victim)
+			break
+		}
+	}
+	p.live[id] = liveTime
+}
+
+// onEvictFixed mirrors the shipped fix: a FIFO ring makes the victim
+// choice deterministic, and no map range is needed at all.
+type fixedPredictor struct {
+	live     map[uint64]int64
+	ring     []uint64
+	ringHead int
+	entries  int
+}
+
+func (p *fixedPredictor) onEvict(id uint64, liveTime int64) {
+	if _, ok := p.live[id]; !ok {
+		if len(p.live) >= p.entries {
+			delete(p.live, p.ring[p.ringHead])
+			p.ring[p.ringHead] = id
+			p.ringHead = (p.ringHead + 1) % p.entries
+		} else {
+			p.ring = append(p.ring, id)
+		}
+	}
+	p.live[id] = liveTime
+}

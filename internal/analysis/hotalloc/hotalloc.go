@@ -1,0 +1,278 @@
+// Package hotalloc makes the simulator's zero-allocation hot paths a
+// static property instead of a benchmark assertion. A function whose doc
+// comment carries a
+//
+//	//tcp:hotpath
+//
+// marker (the per-cycle CPU step, the cache access/fill path, the
+// disabled-telemetry fast paths) is checked for constructs that heap
+// allocate or may allocate: make/new/append, map and slice literals,
+// address-of composite literals, closures, goroutine launches, fmt/log
+// calls, string concatenation and string<->[]byte conversions, map
+// inserts, and interface boxing of non-pointer values (implicit in call
+// arguments or via explicit conversion).
+//
+// The checks are conservative by design — escape analysis could prove some
+// flagged sites stack-allocated — so a deliberate allocation on a hot path
+// (e.g. a slow-path spill guarded by a branch that should instead be split
+// into its own function) needs a justified
+//
+//	//lint:ignore tcplint/hotalloc <why this cannot run per cycle>
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tagprefetch/internal/analysis"
+)
+
+// Marker is the doc-comment directive that opts a function into checking.
+const Marker = "tcp:hotpath"
+
+// Analyzer flags possible heap allocations in //tcp:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flags heap allocations, fmt/log calls, and interface boxing inside functions " +
+		"marked //tcp:hotpath, keeping per-cycle paths allocation-free",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHot(fd.Doc) {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// isHot reports whether the doc group contains the //tcp:hotpath marker.
+func isHot(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBody walks one hot function body reporting allocation sites.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal allocates on the hot path; hoist it out of the "+
+				"//tcp:hotpath function or predeclare it")
+			return false // the closure body runs through its own call sites
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates a goroutine on the hot path")
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.CompositeLit:
+			switch underlyingOf(pass, n).(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates on the hot path")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates on the hot path")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					switch underlyingOf(pass, cl).(type) {
+					case *types.Map, *types.Slice:
+						// already reported at the literal itself
+					default:
+						pass.Reportf(n.Pos(), "address-of composite literal allocates on the hot path "+
+							"unless escape analysis proves otherwise; reuse a preallocated value")
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(pass, n) {
+				pass.Reportf(n.Pos(), "string concatenation allocates on the hot path")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportMapInsert(pass, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportMapInsert(pass, n.X)
+		}
+		return true
+	})
+}
+
+// checkCall reports allocating builtins, fmt/log calls, allocating
+// conversions, and interface boxing in call arguments.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	funTV, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if funTV.IsType() {
+		checkConversion(pass, call, funTV.Type)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates on the hot path; preallocate at construction")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates on the hot path; preallocate at construction")
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array on the hot path; "+
+					"preallocate capacity or use a fixed ring")
+			}
+			return
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "fmt", "log":
+				pass.Reportf(call.Pos(), "%s.%s allocates (formatting and interface boxing) on the hot path",
+					obj.Pkg().Name(), obj.Name())
+				return // its ...any arguments would double-report as boxing
+			}
+		}
+	}
+	sig, ok := funTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	checkBoxing(pass, call, sig)
+}
+
+// checkBoxing flags call arguments implicitly converted from a non-pointer
+// concrete type to an interface parameter: the conversion heap-allocates
+// the value's box.
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.Types[arg]
+		if at.IsNil() || at.Type == nil || types.IsInterface(at.Type) || pointerShaped(at.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s as interface %s boxes the value (heap allocation) on the hot path",
+			types.TypeString(at.Type, types.RelativeTo(pass.Pkg)),
+			types.TypeString(pt, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// checkConversion flags explicit conversions that allocate: concrete
+// non-pointer value to interface, string to byte/rune slice, and byte/rune
+// slice to string.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	at := pass.TypesInfo.Types[call.Args[0]]
+	if at.Type == nil || at.IsNil() {
+		return
+	}
+	if types.IsInterface(target) {
+		if !types.IsInterface(at.Type) && !pointerShaped(at.Type) {
+			pass.Reportf(call.Pos(), "conversion of %s to interface %s boxes the value (heap allocation) on the hot path",
+				types.TypeString(at.Type, types.RelativeTo(pass.Pkg)),
+				types.TypeString(target, types.RelativeTo(pass.Pkg)))
+		}
+		return
+	}
+	if at.Value != nil {
+		return // constant conversions are folded at compile time
+	}
+	src := at.Type.Underlying()
+	dst := target.Underlying()
+	if isString(src) && isByteOrRuneSlice(dst) || isByteOrRuneSlice(src) && isString(dst) {
+		pass.Reportf(call.Pos(), "string/slice conversion copies and allocates on the hot path")
+	}
+}
+
+// pointerShaped reports whether values of t fit an interface data word
+// directly, so boxing them does not allocate.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isNonConstString reports whether e is a runtime string concatenation.
+func isNonConstString(pass *analysis.Pass, e *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// reportMapInsert flags assignments through a map index expression.
+func reportMapInsert(pass *analysis.Pass, lhs ast.Expr) {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if _, isMap := underlyingOf(pass, ix.X).(*types.Map); isMap {
+		pass.Reportf(lhs.Pos(), "map insert may allocate (bucket growth) on the hot path; "+
+			"use a preallocated table or a fixed-geometry structure")
+	}
+}
+
+// underlyingOf returns the underlying type of expression e, or nil when the
+// typechecker recorded none.
+func underlyingOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return tv.Type.Underlying()
+}

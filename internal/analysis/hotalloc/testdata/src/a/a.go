@@ -1,0 +1,76 @@
+// Package a exercises the hotalloc analyzer: allocating constructs inside
+// //tcp:hotpath functions, the same constructs in unmarked functions (not
+// flagged), pointer-shaped boxing exemptions, and suppression handling.
+package a
+
+import "fmt"
+
+type sink interface{ accept() }
+
+type state struct {
+	table map[uint64]int
+	buf   []int
+	label string
+}
+
+type point struct{ x, y int }
+
+func (point) accept() {}
+
+func consume(s sink)        { s.accept() }
+func consumeAny(vs ...any)  { _ = vs }
+func consumeSpread(vs []any) { consumeAny(vs...) }
+
+// step is the marked hot function: every allocating construct fires.
+//
+//tcp:hotpath
+func (s *state) step(i uint64, p point, pp *point) {
+	tmp := make([]int, 8)              // want `make allocates on the hot path`
+	_ = new(point)                     // want `new allocates on the hot path`
+	s.buf = append(s.buf, int(i))      // want `append may grow its backing array on the hot path`
+	fmt.Println(i)                     // want `fmt\.Println allocates \(formatting and interface boxing\) on the hot path`
+	_ = map[uint64]int{}               // want `map literal allocates on the hot path`
+	_ = []int{1, 2}                    // want `slice literal allocates on the hot path`
+	_ = &point{1, 2}                   // want `address-of composite literal allocates on the hot path`
+	s.label = s.label + "x"            // want `string concatenation allocates on the hot path`
+	s.table[i] = int(i)                // want `map insert may allocate \(bucket growth\) on the hot path`
+	s.table[i]++                       // want `map insert may allocate \(bucket growth\) on the hot path`
+	consume(p)                         // want `passing point as interface sink boxes the value \(heap allocation\) on the hot path`
+	consume(pp)                        // pointer-shaped: fits the interface word, no allocation
+	_ = sink(p)                        // want `conversion of point to interface sink boxes the value \(heap allocation\) on the hot path`
+	_ = []byte(s.label)                // want `string/slice conversion copies and allocates on the hot path`
+	f := func() { _ = tmp }            // want `closure literal allocates on the hot path`
+	f()
+	go f() // want `go statement allocates a goroutine on the hot path`
+}
+
+// spreadOK forwards an existing []any with ellipsis: no per-element boxing.
+//
+//tcp:hotpath
+func spreadOK(vs []any) {
+	consumeSpread(vs)
+	consumeAny(vs...)
+}
+
+// cold has no marker: the same constructs are fine here.
+func cold(s *state, i uint64) {
+	s.buf = append(s.buf, int(i))
+	s.table[i] = int(i)
+	fmt.Println(i)
+}
+
+// suppressed documents a deliberate slow-path spill with a justification.
+//
+//tcp:hotpath
+func suppressed(s *state, i uint64) {
+	//lint:ignore tcplint/hotalloc spill happens at most once per fill, not per cycle
+	s.buf = append(s.buf, int(i))
+}
+
+// unjustified keeps the finding and flags the bare ignore comment.
+//
+//tcp:hotpath
+func unjustified(s *state, i uint64) {
+	//lint:ignore tcplint/hotalloc
+	s.buf = append(s.buf, int(i)) // want `lint:ignore comment needs a justification` `append may grow its backing array`
+}

@@ -1,0 +1,180 @@
+// Package load typechecks Go packages for the tcplint analyzers without
+// depending on golang.org/x/tools/go/packages. It shells out to the go
+// command — `go list -deps -export -json` — which compiles dependencies
+// into the build cache and reports an export-data file per package, then
+// parses and typechecks the target packages from source, resolving imports
+// through those export files with the standard library's gc importer. The
+// whole pipeline is offline: it needs only the toolchain and the module
+// itself.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one typechecked target package.
+type Package struct {
+	Path  string // import path
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// ListPackage is the subset of `go list -json` output the loader reads.
+type ListPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// List runs `go list -json <args>` in dir and decodes the package stream.
+// A package with a list error aborts the whole call.
+func List(dir string, args []string) ([]*ListPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*ListPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(ListPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// Load lists patterns in dir (a module directory), compiles dependencies,
+// and returns every matched package typechecked from source. Packages that
+// fail to list or typecheck abort the load: the analyzers require a
+// well-typed tree, exactly like go vet.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, exports, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, lp := range pkgs {
+		if lp.DepOnly || len(lp.GoFiles) == 0 {
+			continue
+		}
+		p, err := typecheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// goList runs the go command and returns the matched packages plus the
+// import-path → export-data map covering their whole dependency closure.
+func goList(dir string, patterns []string) ([]*ListPackage, map[string]string, error) {
+	args := append([]string{"-deps", "-export", "--"}, patterns...)
+	pkgs, err := List(dir, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := make(map[string]string)
+	for _, lp := range pkgs {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return pkgs, exports, nil
+}
+
+// typecheck parses and typechecks one listed package from source.
+func typecheck(fset *token.FileSet, imp types.Importer, lp *ListPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", buildArch()),
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Name:  lp.Name,
+		Dir:   lp.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// NewInfo allocates a types.Info with every map the analyzers read.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// buildArch returns the architecture the export data was compiled for.
+func buildArch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}

@@ -1,0 +1,67 @@
+// Package notime bans wall-clock and ambient-randomness entropy in
+// simulator packages. A timing model's outputs must be a pure function of
+// (configuration, seed): reading time.Now or drawing from math/rand —
+// whose global generator is seeded per-process — makes two runs of the
+// same experiment disagree. Simulated time comes from the cycle counters
+// the model already maintains; randomness must flow through the seeded
+// internal/xrand generator that the workload plumbing passes down.
+//
+// Host-side tooling (progress meters, run-report timestamps) lives outside
+// the simulator packages and is not analyzed; within them, a genuinely
+// harmless use needs a justified
+//
+//	//lint:ignore tcplint/notime <why this cannot affect results>
+package notime
+
+import (
+	"go/ast"
+	"strconv"
+
+	"tagprefetch/internal/analysis"
+)
+
+// Analyzer flags wall-clock reads and math/rand usage.
+var Analyzer = &analysis.Analyzer{
+	Name: "notime",
+	Doc: "bans time.Now/Since/Until and math/rand in simulator packages; " +
+		"derive time from simulated cycles and randomness from internal/xrand",
+	Run: run,
+}
+
+// bannedTimeFuncs are the package time functions that read the wall clock.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s: simulator randomness must come from the seeded "+
+					"internal/xrand generator so runs are reproducible", path)
+			}
+		}
+	}
+	pass.Preorder(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+			return true
+		}
+		if bannedTimeFuncs[obj.Name()] {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock, making simulator output depend on host "+
+				"timing; derive time from simulated cycles", obj.Name())
+		}
+		return true
+	})
+	return nil
+}

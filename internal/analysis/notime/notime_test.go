@@ -1,0 +1,12 @@
+package notime_test
+
+import (
+	"testing"
+
+	"tagprefetch/internal/analysis/analysistest"
+	"tagprefetch/internal/analysis/notime"
+)
+
+func TestNotime(t *testing.T) {
+	analysistest.Run(t, notime.Analyzer, "testdata", "a")
+}

@@ -1,0 +1,41 @@
+// Package a exercises the notime analyzer: wall-clock reads, math/rand
+// imports, allowed time uses, and suppression handling.
+package a
+
+import (
+	"math/rand" // want `import of math/rand: simulator randomness must come from the seeded internal/xrand generator`
+	"time"
+)
+
+// wallClock reads host time, which leaks into simulated results.
+func wallClock() int64 {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	elapsed := time.Since(t) // want `time\.Since reads the wall clock`
+	_ = time.Until(t.Add(time.Second)) // want `time\.Until reads the wall clock`
+	return int64(elapsed)
+}
+
+// ambientRand draws from the banned generator (the import is already
+// flagged; uses are not double-reported).
+func ambientRand() int {
+	return rand.Intn(8)
+}
+
+// durationsOK: time.Duration arithmetic and constants are pure values and
+// must not be flagged.
+func durationsOK(d time.Duration) time.Duration {
+	return d + 3*time.Millisecond
+}
+
+// suppressed carries a justification: progress heartbeats are host-side
+// and never feed simulator state.
+func suppressed() time.Time {
+	//lint:ignore tcplint/notime heartbeat timestamp is host-side telemetry, never read by the simulator
+	return time.Now()
+}
+
+// unjustified keeps the finding and flags the bare ignore comment.
+func unjustified() time.Time {
+	//lint:ignore tcplint/notime
+	return time.Now() // want `lint:ignore comment needs a justification` `time\.Now reads the wall clock`
+}

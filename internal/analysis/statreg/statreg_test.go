@@ -1,0 +1,12 @@
+package statreg_test
+
+import (
+	"testing"
+
+	"tagprefetch/internal/analysis/analysistest"
+	"tagprefetch/internal/analysis/statreg"
+)
+
+func TestStatreg(t *testing.T) {
+	analysistest.Run(t, statreg.Analyzer, "testdata", "a")
+}

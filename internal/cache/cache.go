@@ -160,6 +160,8 @@ type AccessResult struct {
 }
 
 // Probe reports whether block a is present, without changing any state.
+//
+//tcp:hotpath — the prefetch filter probes on every candidate prediction.
 func (c *Cache) Probe(a addr.Addr) bool {
 	set := c.sets[c.geom.Index(a)]
 	tag := c.geom.Tag(a)
@@ -175,6 +177,8 @@ func (c *Cache) Probe(a addr.Addr) bool {
 // On a hit the line's recency and touch metadata are updated; on a miss the
 // caller is responsible for performing the Fill after the lower levels
 // return the block.
+//
+//tcp:hotpath — runs once per demand access at every cache level.
 func (c *Cache) Access(a addr.Addr, write bool, now int64) AccessResult {
 	idx := c.geom.Index(a)
 	tag := c.geom.Tag(a)
@@ -225,6 +229,8 @@ type Eviction struct {
 // already present the existing line's readiness is refreshed instead (an
 // in-flight demand fill and a prefetch to the same block merge).
 // Returns the eviction, if any.
+//
+//tcp:hotpath — runs on every fill (demand and prefetch).
 func (c *Cache) Fill(a addr.Addr, now, readyAt int64, prefetch bool) Eviction {
 	idx := c.geom.Index(a)
 	tag := c.geom.Tag(a)

@@ -53,6 +53,7 @@ func (f *MSHRFile) Remove(g addr.Geometry, a addr.Addr) {
 // returning the number retired. The simulator calls this as time advances.
 func (f *MSHRFile) ReleaseBefore(now int64) int {
 	n := 0
+	//lint:ignore tcplint/detmap each entry is retired by an independent ReadyAt<=now predicate and only the count is returned, so iteration order cannot affect state or results
 	for k, m := range f.pending {
 		if m.ReadyAt <= now {
 			delete(f.pending, k)
@@ -67,6 +68,7 @@ func (f *MSHRFile) ReleaseBefore(now int64) int {
 func (f *MSHRFile) EarliestReady() int64 {
 	var best int64
 	first := true
+	//lint:ignore tcplint/detmap min over values is an order-independent reduction
 	for _, m := range f.pending {
 		if first || m.ReadyAt < best {
 			best = m.ReadyAt

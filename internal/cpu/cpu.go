@@ -137,6 +137,8 @@ func newPool(n int) *fuPool { return &fuPool{freeAt: make([]int64, n)} }
 
 // issue returns the earliest cycle >= ready at which a unit accepts the op,
 // and books the unit.
+//
+//tcp:hotpath — every instruction books a functional unit.
 func (p *fuPool) issue(ready int64) int64 {
 	best := 0
 	for i := 1; i < len(p.freeAt); i++ {
@@ -223,6 +225,171 @@ func (c *Core) Run(gen workload.Generator, n uint64) Result {
 	return c.RunMeasured(gen, 0, n, nil)
 }
 
+// pipeline is the rolling state of the constructive timing model: the
+// completion/commit rings, functional-unit scoreboards, and the front-end
+// cursors that carry from one committed instruction to the next. It is
+// built once per run and advanced by step.
+type pipeline struct {
+	cfg  Config
+	mem  Memory
+	pred branch.Predictor
+
+	doneAt    []int64 // completion, ring by instruction index
+	commitAt  []int64 // commit, same ring
+	memCommit []int64
+	memCount  int
+
+	intALU, intMul, fpALU, fpMul, memPort *fuPool
+
+	dispatchCycle int64 // cycle currently receiving dispatches
+	dispatchSlots int
+	commitCycle   int64
+	commitSlots   int
+	lastCommit    int64
+	fetchResume   int64
+}
+
+// newPipeline allocates every ring and scoreboard up front so that step
+// itself never allocates.
+func newPipeline(cfg Config, mem Memory, pred branch.Predictor) *pipeline {
+	return &pipeline{
+		cfg:       cfg,
+		mem:       mem,
+		pred:      pred,
+		doneAt:    make([]int64, cfg.RUUSize),
+		commitAt:  make([]int64, cfg.RUUSize),
+		memCommit: make([]int64, cfg.LSQSize),
+		intALU:    newPool(cfg.IntALU),
+		intMul:    newPool(cfg.IntMult),
+		fpALU:     newPool(cfg.FPALU),
+		fpMul:     newPool(cfg.FPMult),
+		memPort:   newPool(cfg.MemPorts),
+	}
+}
+
+// step advances the model by one dynamic instruction — dispatch, operand
+// readiness, issue/execute, in-order commit — accumulating stall and event
+// counters into res. i is the dynamic instruction index.
+//
+//tcp:hotpath — runs once per simulated instruction; tcplint's hotalloc
+// keeps it free of allocation, fmt, and interface boxing.
+func (p *pipeline) step(i uint64, inst *workload.Inst, res *Result) {
+	cfg := &p.cfg
+
+	// --- dispatch ---
+	d := p.dispatchCycle
+	if p.fetchResume > d {
+		d = p.fetchResume
+		res.FetchRedirectStall++
+	}
+	if i >= uint64(cfg.RUUSize) {
+		if w := p.commitAt[i%uint64(cfg.RUUSize)]; w > d {
+			d = w
+			res.DispatchStallRUU++
+		}
+	}
+	isMem := inst.Class.IsMem()
+	if isMem && p.memCount >= cfg.LSQSize {
+		if w := p.memCommit[p.memCount%cfg.LSQSize]; w > d {
+			d = w
+			res.DispatchStallLSQ++
+		}
+	}
+	if d > p.dispatchCycle {
+		p.dispatchCycle = d
+		p.dispatchSlots = 0
+	}
+	if p.dispatchSlots == cfg.IssueWidth {
+		p.dispatchCycle++
+		p.dispatchSlots = 0
+	}
+	d = p.dispatchCycle
+	p.dispatchSlots++
+
+	// --- operand readiness ---
+	ready := d + 1
+	for _, dep := range [2]int32{inst.Dep1, inst.Dep2} {
+		if dep <= 0 || uint64(dep) > i {
+			continue
+		}
+		if dep <= int32(cfg.RUUSize) {
+			if w := p.doneAt[(i-uint64(dep))%uint64(cfg.RUUSize)]; w > ready {
+				ready = w
+			}
+		}
+		// A producer more than RUUSize back committed before our
+		// dispatch, so it is necessarily complete.
+	}
+
+	// --- issue and execute ---
+	var done int64
+	switch inst.Class {
+	case workload.IntALU:
+		done = p.intALU.issue(ready) + latIntALU
+	case workload.IntMult:
+		done = p.intMul.issue(ready) + latIntMul
+	case workload.FPALU:
+		done = p.fpALU.issue(ready) + latFPALU
+	case workload.FPMult:
+		done = p.fpMul.issue(ready) + latFPMul
+	case workload.Branch:
+		done = p.intALU.issue(ready) + latBranch
+		res.Branches++
+		predicted := p.pred.Predict(inst.PC)
+		p.pred.Update(inst.PC, inst.Taken)
+		if predicted != inst.Taken {
+			res.BranchMispredicts++
+			if r := done + cfg.RedirectPenalty; r > p.fetchResume {
+				p.fetchResume = r
+			}
+		}
+	case workload.Load:
+		res.Loads++
+		at := p.memPort.issue(ready) + latAGU
+		done = p.mem.Access(addr.Addr(inst.Addr), addr.Addr(inst.PC), false, at)
+	case workload.Store:
+		res.Stores++
+		at := p.memPort.issue(ready) + latAGU
+		// Stores retire through the store buffer: later instructions
+		// and commit do not wait for the memory system, but the access
+		// still exercises the hierarchy (write-allocate, traffic).
+		p.mem.Access(addr.Addr(inst.Addr), addr.Addr(inst.PC), true, at)
+		done = at + 1
+	default:
+		done = p.intALU.issue(ready) + latIntALU
+	}
+	p.doneAt[i%uint64(cfg.RUUSize)] = done
+
+	// --- in-order commit, IssueWidth per cycle ---
+	cm := done
+	if p.lastCommit > cm {
+		cm = p.lastCommit
+	}
+	if inst.Class == workload.Load && cfg.OnLoadRetire != nil {
+		// The load is critical when its completion, not older work,
+		// determines the commit time — by more than the few cycles of
+		// natural pipeline skew between completion and commit.
+		const commitSkew = 8
+		cfg.OnLoadRetire(inst.PC, done > p.lastCommit+commitSkew)
+	}
+	if cm > p.commitCycle {
+		p.commitCycle = cm
+		p.commitSlots = 0
+	}
+	if p.commitSlots == cfg.IssueWidth {
+		p.commitCycle++
+		p.commitSlots = 0
+	}
+	cm = p.commitCycle
+	p.commitSlots++
+	p.lastCommit = cm
+	p.commitAt[i%uint64(cfg.RUUSize)] = cm
+	if isMem {
+		p.memCommit[p.memCount%cfg.LSQSize] = cm
+		p.memCount++
+	}
+}
+
 // RunMeasured executes warmup+measure dynamic instructions and reports
 // counters for the measured portion only — the analogue of the paper's
 // "skip the first 1 billion instructions ... then simulate 2 billion"
@@ -230,165 +397,34 @@ func (c *Core) Run(gen workload.Generator, n uint64) Result {
 // has been processed, with the commit cycle at the boundary (callers
 // snapshot memory-system statistics and mark sampling phases there).
 func (c *Core) RunMeasured(gen workload.Generator, warmup, measure uint64, onBoundary func(cycle int64)) Result {
-	cfg := c.cfg
 	n := warmup + measure
 	var res, warmRes Result
 	res.Instructions = n
 
-	doneAt := make([]int64, cfg.RUUSize)   // completion, ring by instruction index
-	commitAt := make([]int64, cfg.RUUSize) // commit, same ring
-	memCommit := make([]int64, cfg.LSQSize)
-	memCount := 0
-
-	intALU := newPool(cfg.IntALU)
-	intMul := newPool(cfg.IntMult)
-	fpALU := newPool(cfg.FPALU)
-	fpMul := newPool(cfg.FPMult)
-	memPort := newPool(cfg.MemPorts)
-
-	var (
-		dispatchCycle int64 // cycle currently receiving dispatches
-		dispatchSlots int
-		commitCycle   int64
-		commitSlots   int
-		lastCommit    int64
-		fetchResume   int64
-	)
+	p := newPipeline(c.cfg, c.mem, c.pred)
 
 	var inst workload.Inst
 	for i := uint64(0); i < n; i++ {
 		if i == warmup && warmup > 0 {
 			warmRes = res
 			warmRes.Instructions = warmup
-			warmRes.Cycles = lastCommit
+			warmRes.Cycles = p.lastCommit
 			if onBoundary != nil {
-				c.syncCounters(i, lastCommit)
-				onBoundary(lastCommit)
+				c.syncCounters(i, p.lastCommit)
+				onBoundary(p.lastCommit)
 			}
 		}
-		if c.sampler != nil && c.sampler.Due(lastCommit) {
-			c.syncCounters(i, lastCommit)
-			c.sampler.Sample(lastCommit, i)
+		if c.sampler != nil && c.sampler.Due(p.lastCommit) {
+			c.syncCounters(i, p.lastCommit)
+			c.sampler.Sample(p.lastCommit, i)
 		}
 		gen.Next(&inst)
-
-		// --- dispatch ---
-		d := dispatchCycle
-		if fetchResume > d {
-			d = fetchResume
-			res.FetchRedirectStall++
-		}
-		if i >= uint64(cfg.RUUSize) {
-			if w := commitAt[i%uint64(cfg.RUUSize)]; w > d {
-				d = w
-				res.DispatchStallRUU++
-			}
-		}
-		isMem := inst.Class.IsMem()
-		if isMem && memCount >= cfg.LSQSize {
-			if w := memCommit[memCount%cfg.LSQSize]; w > d {
-				d = w
-				res.DispatchStallLSQ++
-			}
-		}
-		if d > dispatchCycle {
-			dispatchCycle = d
-			dispatchSlots = 0
-		}
-		if dispatchSlots == cfg.IssueWidth {
-			dispatchCycle++
-			dispatchSlots = 0
-		}
-		d = dispatchCycle
-		dispatchSlots++
-
-		// --- operand readiness ---
-		ready := d + 1
-		for _, dep := range [2]int32{inst.Dep1, inst.Dep2} {
-			if dep <= 0 || uint64(dep) > i {
-				continue
-			}
-			if dep <= int32(cfg.RUUSize) {
-				if w := doneAt[(i-uint64(dep))%uint64(cfg.RUUSize)]; w > ready {
-					ready = w
-				}
-			}
-			// A producer more than RUUSize back committed before our
-			// dispatch, so it is necessarily complete.
-		}
-
-		// --- issue and execute ---
-		var done int64
-		switch inst.Class {
-		case workload.IntALU:
-			done = intALU.issue(ready) + latIntALU
-		case workload.IntMult:
-			done = intMul.issue(ready) + latIntMul
-		case workload.FPALU:
-			done = fpALU.issue(ready) + latFPALU
-		case workload.FPMult:
-			done = fpMul.issue(ready) + latFPMul
-		case workload.Branch:
-			done = intALU.issue(ready) + latBranch
-			res.Branches++
-			predicted := c.pred.Predict(inst.PC)
-			c.pred.Update(inst.PC, inst.Taken)
-			if predicted != inst.Taken {
-				res.BranchMispredicts++
-				if r := done + cfg.RedirectPenalty; r > fetchResume {
-					fetchResume = r
-				}
-			}
-		case workload.Load:
-			res.Loads++
-			at := memPort.issue(ready) + latAGU
-			done = c.mem.Access(addr.Addr(inst.Addr), addr.Addr(inst.PC), false, at)
-		case workload.Store:
-			res.Stores++
-			at := memPort.issue(ready) + latAGU
-			// Stores retire through the store buffer: later instructions
-			// and commit do not wait for the memory system, but the access
-			// still exercises the hierarchy (write-allocate, traffic).
-			c.mem.Access(addr.Addr(inst.Addr), addr.Addr(inst.PC), true, at)
-			done = at + 1
-		default:
-			done = intALU.issue(ready) + latIntALU
-		}
-		doneAt[i%uint64(cfg.RUUSize)] = done
-
-		// --- in-order commit, IssueWidth per cycle ---
-		cm := done
-		if lastCommit > cm {
-			cm = lastCommit
-		}
-		if inst.Class == workload.Load && cfg.OnLoadRetire != nil {
-			// The load is critical when its completion, not older work,
-			// determines the commit time — by more than the few cycles of
-			// natural pipeline skew between completion and commit.
-			const commitSkew = 8
-			cfg.OnLoadRetire(inst.PC, done > lastCommit+commitSkew)
-		}
-		if cm > commitCycle {
-			commitCycle = cm
-			commitSlots = 0
-		}
-		if commitSlots == cfg.IssueWidth {
-			commitCycle++
-			commitSlots = 0
-		}
-		cm = commitCycle
-		commitSlots++
-		lastCommit = cm
-		commitAt[i%uint64(cfg.RUUSize)] = cm
-		if isMem {
-			memCommit[memCount%cfg.LSQSize] = cm
-			memCount++
-		}
+		p.step(i, &inst, &res)
 	}
 
-	res.Cycles = lastCommit
+	res.Cycles = p.lastCommit
 	res.Instructions = n
-	c.syncCounters(n, lastCommit)
+	c.syncCounters(n, p.lastCommit)
 	if warmup > 0 {
 		res = res.sub(warmRes)
 	}

@@ -271,6 +271,9 @@ func (m *MemSys) Prefetcher() prefetch.Prefetcher { return m.pf }
 
 // Access performs a demand load or store issued at cycle `now` and returns
 // the cycle at which the data is available to the core.
+//
+//tcp:hotpath — every load and store walks through here; the hit path must
+// stay allocation-free (misses take the separate miss slow path).
 func (m *MemSys) Access(a, pc addr.Addr, write bool, now int64) int64 {
 	res := m.l1d.Access(a, write, now)
 	if res.Hit {
@@ -295,7 +298,15 @@ func (m *MemSys) Access(a, pc addr.Addr, write bool, now int64) int64 {
 		}
 		return res.ReadyAt
 	}
+	return m.miss(a, pc, write, now)
+}
 
+// miss handles an L1 demand miss: MSHR merge/stall, the L2/memory walk,
+// the L1 fill with write-allocate, and prefetcher training. It is split
+// from Access so the hit path stays on the allocation-free fast path (the
+// miss path allocates by design: prefetcher request batches are
+// miss-local slices).
+func (m *MemSys) miss(a, pc addr.Addr, write bool, now int64) int64 {
 	// Merge with an in-flight fill of the same block. Entries are retired
 	// lazily: a completed entry found here is dropped instead of merged.
 	if e, ok := m.mshr.Lookup(m.cfg.L1D, a); ok {

@@ -44,13 +44,19 @@ func NewCounter(name, desc string) *Counter {
 }
 
 // Inc increments the counter by one.
+//
+//tcp:hotpath — counters tick on per-access and per-cycle paths.
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add increments the counter by n.
+//
+//tcp:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Store sets the counter to n (used by components that mirror an internal
 // total into the registry, and by Reset).
+//
+//tcp:hotpath — the core mirrors progress counters at sampler ticks.
 func (c *Counter) Store(n uint64) { c.v.Store(n) }
 
 // Value returns the current count.
@@ -79,6 +85,8 @@ func NewGauge(name, desc string) *Gauge {
 }
 
 // Set stores v.
+//
+//tcp:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value returns the stored value.

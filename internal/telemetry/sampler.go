@@ -88,6 +88,8 @@ func (s *Sampler) OnSample(fn func(cycle int64, instructions uint64, values []fl
 
 // Due reports whether a sample should be taken at cycle. It is called once
 // per committed instruction, so it is a single comparison.
+//
+//tcp:hotpath — the when-off path of sampling; Sample is the slow path.
 func (s *Sampler) Due(cycle int64) bool { return cycle >= s.next }
 
 // Sample records one sample at the given cycle. Callers gate on Due.

@@ -106,14 +106,27 @@ func NewTracer(w io.Writer, opts TracerOptions) *Tracer {
 
 // Enabled reports whether events at level l would be recorded. Call sites
 // use it to skip expensive event-field computation.
+//
+//tcp:hotpath — consulted before building event fields on per-cycle paths.
 func (t *Tracer) Enabled(l Level) bool { return t.enabled && l >= t.min }
 
 // Emit records ev. Disabled tracers and filtered levels return
-// immediately with zero allocations.
+// immediately with zero allocations: the whole slow path lives in
+// emitSlow so this gate stays small enough to inline into per-cycle code.
+//
+//tcp:hotpath — the disabled-tracer fast path is one branch; anything that
+// can allocate belongs in emitSlow.
 func (t *Tracer) Emit(ev Event) {
 	if !t.enabled || ev.Level < t.min {
 		return
 	}
+	t.emitSlow(ev)
+}
+
+// emitSlow buffers ev on an enabled tracer, flushing to the sink when the
+// buffer fills. The append never grows the buffer: capacity is fixed at
+// construction and flushLocked resets the length.
+func (t *Tracer) emitSlow(ev Event) {
 	t.mu.Lock()
 	if t.max > 0 && t.written+uint64(len(t.buf)) >= t.max {
 		t.mu.Unlock()

@@ -1,0 +1,14 @@
+// Module tools pins the versions of external analysis tooling that CI
+// installs with `go install <pkg>@<version>`. It is a separate module so
+// the main build stays dependency-free and fully offline: nothing here is
+// compiled into the simulator, and the root `go build ./...` never sees
+// it. CI extracts the pinned versions from this file (see the lint job in
+// .github/workflows/ci.yml); bump them here, nowhere else.
+module tagprefetch/tools
+
+go 1.24
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1
+)

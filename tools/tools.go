@@ -1,0 +1,13 @@
+//go:build tools
+
+// Package tools records the external analysis binaries CI installs, in the
+// conventional blank-import form, so `go mod tidy` (run online) keeps
+// go.mod's require list in sync with what CI actually uses. The build tag
+// keeps the imports out of every real build; offline environments never
+// compile or resolve this file.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
