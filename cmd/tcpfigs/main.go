@@ -23,6 +23,7 @@ import (
 	"tagprefetch/internal/experiment"
 	"tagprefetch/internal/profiler"
 	"tagprefetch/internal/profiling"
+	"tagprefetch/internal/sim"
 	"tagprefetch/internal/stats"
 	"tagprefetch/internal/telemetry"
 )
@@ -44,6 +45,10 @@ func run() int {
 		reportIn   = flag.String("report", "", "render a telemetry report (from tcpsim/tcpsweep -json) instead of running experiments")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file")
+
+		warmFork = flag.Bool("warmfork", false, "run every warmup under the no-prefetch baseline and fork grid points from one warm checkpoint per benchmark")
+		ckptDir  = flag.String("checkpoint-dir", "", "persist warm checkpoints and per-job result manifests in this directory")
+		resume   = flag.Bool("resume", false, "answer already-completed jobs from -checkpoint-dir manifests instead of re-simulating")
 	)
 	flag.Parse()
 
@@ -62,12 +67,30 @@ func run() int {
 		return 0
 	}
 
+	if err := (sim.Config{Instructions: *n, Warmup: *warm, Seed: *seed}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "tcpfigs:", err)
+		return 2
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "tcpfigs: -resume requires -checkpoint-dir")
+		return 2
+	}
+
 	// One runner for every figure: baselines simulated for fig1 are reused
 	// by fig11, fig14 and the ablations via the memoised cache.
 	o := experiment.Options{Instructions: *n, Warmup: *warm, Seed: *seed,
-		Runner: experiment.NewRunner(*jobs)}
+		BaselineWarmup: *warmFork, Runner: experiment.NewRunner(*jobs)}
 	if *bench != "" {
 		o.Benches = strings.Split(*bench, ",")
+	}
+	if *ckptDir != "" {
+		o.Runner.SetCheckpointDir(*ckptDir)
+		store, err := experiment.NewResultStore(*ckptDir, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcpfigs:", err)
+			return 1
+		}
+		o.Runner.SetResultStore(store)
 	}
 
 	ids := []string{*exp}
@@ -156,6 +179,10 @@ func run() int {
 	if simulated, reused := o.Runner.BaselineStats(); reused > 0 {
 		fmt.Fprintf(os.Stderr, "tcpfigs: baseline cache: %d simulated, %d reused\n",
 			simulated, reused)
+	}
+	if warmups, forks := o.Runner.WarmForkStats(); forks > 0 {
+		fmt.Fprintf(os.Stderr, "tcpfigs: warm fork: %d warmups simulated, %d grid points forked\n",
+			warmups, forks)
 	}
 	return 0
 }

@@ -43,7 +43,7 @@ var analyzers = []*analysis.Analyzer{
 // are included because table and JSON output order is part of a
 // reproducible run.
 var simPackageRE = regexp.MustCompile(`^tagprefetch(/cmd/[^/]+)?$|` +
-	`^tagprefetch/internal/(addr|branch|bus|cache|core|coverage|cpu|critical|dbcp|deadblock|dram|experiment|memsys|prefetch|profiler|sim|stats|trace|workload|xrand)$`)
+	`^tagprefetch/internal/(addr|branch|bus|cache|checkpoint|core|coverage|cpu|critical|dbcp|deadblock|dram|experiment|memsys|prefetch|profiler|sim|stats|trace|workload|xrand)$`)
 
 // runsOn reports whether analyzer a applies to package path.
 func runsOn(a *analysis.Analyzer, path string) bool {

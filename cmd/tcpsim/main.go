@@ -10,6 +10,8 @@
 //	tcpsim -bench mcf -pf tcp8k -json out.json     # machine-readable report
 //	tcpsim -bench mcf -pf tcp8k -trace ev.jsonl -progress 1
 //	tcpsim -bench all -pf tcp8k -jobs 4            # 4 benchmarks in flight
+//	tcpsim -bench mcf -pf tcp8k -save-at 500000 -save warm.ckpt
+//	tcpsim -bench mcf -pf tcp8k -restore warm.ckpt # continue bit-identically
 package main
 
 import (
@@ -19,6 +21,8 @@ import (
 	"runtime"
 	"strings"
 
+	"tagprefetch/internal/addr"
+	"tagprefetch/internal/checkpoint"
 	"tagprefetch/internal/experiment"
 	"tagprefetch/internal/memsys"
 	"tagprefetch/internal/profiling"
@@ -83,6 +87,12 @@ func run() int {
 		progress   = flag.Uint64("progress", 0, "print a heartbeat to stderr every N million instructions")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file")
+
+		l1Geom      = flag.String("l1", "", "L1 dcache geometry as sizeBytes:ways:blockBytes (default Table 1)")
+		l2Geom      = flag.String("l2", "", "L2 cache geometry as sizeBytes:ways:blockBytes (default Table 1)")
+		savePath    = flag.String("save", "", "write a warm-state checkpoint to this file (single -bench only)")
+		saveAt      = flag.Uint64("save-at", 0, "instruction count at which -save snapshots (default: the warmup/measure boundary)")
+		restorePath = flag.String("restore", "", "restore machine state from a checkpoint file and continue (single -bench only)")
 	)
 	flag.Parse()
 
@@ -112,6 +122,26 @@ func run() int {
 		Warmup:       *warm,
 		Seed:         *seed,
 		Mem:          memsys.Config{IdealL2: *ideal},
+	}
+	if *l1Geom != "" {
+		g, err := parseGeometry(*l1Geom)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsim: -l1:", err)
+			return 2
+		}
+		cfg.Mem.L1D = g
+	}
+	if *l2Geom != "" {
+		g, err := parseGeometry(*l2Geom)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsim: -l2:", err)
+			return 2
+		}
+		cfg.Mem.L2 = g
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "tcpsim:", err)
+		return 2
 	}
 
 	benches := workload.Names()
@@ -173,7 +203,25 @@ func run() int {
 		}
 		simJobs[i] = experiment.Job{Bench: b, Factory: f, Config: runCfg}
 	}
-	results := experiment.NewRunner(*jobs).Map(simJobs)
+
+	var results []sim.Result
+	if *savePath != "" || *saveAt > 0 || *restorePath != "" {
+		if *savePath == "" && *saveAt > 0 {
+			fmt.Fprintln(os.Stderr, "tcpsim: -save-at requires -save FILE")
+			return 2
+		}
+		if len(benches) != 1 {
+			fmt.Fprintln(os.Stderr, "tcpsim: -save/-restore need a single benchmark (-bench NAME, not all)")
+			return 2
+		}
+		r, code := runCheckpointed(benches[0], f, simJobs[0].Config, *savePath, *saveAt, *restorePath)
+		if code != 0 {
+			return code
+		}
+		results = []sim.Result{r}
+	} else {
+		results = experiment.NewRunner(*jobs).Map(simJobs)
+	}
 
 	tab := stats.NewTable(
 		fmt.Sprintf("tcpsim: pf=%s n=%d ideal=%v", f.Name, *n, *ideal),
@@ -231,6 +279,72 @@ func installProgress(s *telemetry.Sampler, bench string, everyMillion uint64) {
 		fmt.Fprintf(os.Stderr, "tcpsim: %s %dM instructions, %d cycles, IPC %.3f\n",
 			bench, instructions/1_000_000, cycle, ipc)
 	})
+}
+
+// runCheckpointed drives a single benchmark on an explicit sim.Machine so its
+// state can be snapshotted mid-run (-save/-save-at) or seeded from a prior
+// snapshot (-restore). Restoring and continuing is bit-identical to the
+// uninterrupted run, so the printed table matches either way.
+func runCheckpointed(bench string, f sim.Factory, cfg sim.Config,
+	savePath string, saveAt uint64, restorePath string) (sim.Result, int) {
+	spec, err := workload.Spec2000(bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcpsim:", err)
+		return sim.Result{}, 2
+	}
+	m, err := sim.NewMachine(spec, f, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcpsim:", err)
+		return sim.Result{}, 2
+	}
+	if restorePath != "" {
+		data, err := checkpoint.ReadFile(restorePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsim:", err)
+			return sim.Result{}, 1
+		}
+		if err := m.RestoreImage(data); err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsim: restore:", err)
+			return sim.Result{}, 1
+		}
+		fmt.Fprintf(os.Stderr, "tcpsim: restored %s at instruction %d of %d\n",
+			restorePath, m.Position(), m.Total())
+	}
+	if savePath != "" {
+		at := saveAt
+		if at == 0 {
+			at = cfg.Normalized().Warmup
+		}
+		if at < m.Position() {
+			fmt.Fprintf(os.Stderr, "tcpsim: -save-at %d is before the current position %d\n",
+				at, m.Position())
+			return sim.Result{}, 2
+		}
+		m.RunTo(at)
+		img, err := m.Checkpoint()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsim: checkpoint:", err)
+			return sim.Result{}, 1
+		}
+		if err := checkpoint.WriteFile(savePath, img); err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsim:", err)
+			return sim.Result{}, 1
+		}
+		fmt.Fprintf(os.Stderr, "tcpsim: checkpoint (%d bytes) written to %s at instruction %d\n",
+			len(img), savePath, m.Position())
+	}
+	return m.Run(), 0
+}
+
+// parseGeometry parses "sizeBytes:ways:blockBytes" into a validated cache
+// geometry, surfacing addr.NewGeometry's power-of-two errors instead of the
+// panic the defaulted path would hit later.
+func parseGeometry(s string) (addr.Geometry, error) {
+	var size, ways, block int
+	if _, err := fmt.Sscanf(s, "%d:%d:%d", &size, &ways, &block); err != nil {
+		return addr.Geometry{}, fmt.Errorf("geometry %q: want sizeBytes:ways:blockBytes", s)
+	}
+	return addr.NewGeometry(size, ways, block)
 }
 
 func max64(a, b uint64) uint64 {

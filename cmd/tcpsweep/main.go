@@ -7,6 +7,8 @@
 //	tcpsweep -sweep k -benches swim    # THT depth on one benchmark
 //	tcpsweep -sweep size -json out.json   # machine-readable sweep curves
 //	tcpsweep -sweep size -jobs 1          # strictly serial execution
+//	tcpsweep -sweep size -warmfork -checkpoint-dir ckpt   # warm once, fork grid
+//	tcpsweep -sweep size -checkpoint-dir ckpt -resume     # resume a killed sweep
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"tagprefetch/internal/experiment"
 	"tagprefetch/internal/profiling"
+	"tagprefetch/internal/sim"
 	"tagprefetch/internal/stats"
 	"tagprefetch/internal/telemetry"
 )
@@ -38,6 +41,10 @@ func run() int {
 		jsonOut    = flag.String("json", "", "write the sweep's curves and tables as a machine-readable report to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file")
+
+		warmFork = flag.Bool("warmfork", false, "run every warmup under the no-prefetch baseline and fork grid points from one warm checkpoint per benchmark")
+		ckptDir  = flag.String("checkpoint-dir", "", "persist warm checkpoints and per-job result manifests in this directory")
+		resume   = flag.Bool("resume", false, "answer already-completed jobs from -checkpoint-dir manifests instead of re-simulating")
 	)
 	flag.Parse()
 
@@ -48,10 +55,28 @@ func run() int {
 	}
 	defer stopProf()
 
+	if err := (sim.Config{Instructions: *n, Warmup: *warm, Seed: *seed}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "tcpsweep:", err)
+		return 2
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "tcpsweep: -resume requires -checkpoint-dir")
+		return 2
+	}
+
 	o := experiment.Options{Instructions: *n, Warmup: *warm, Seed: *seed,
-		Runner: experiment.NewRunner(*jobs)}
+		BaselineWarmup: *warmFork, Runner: experiment.NewRunner(*jobs)}
 	if *bench != "" {
 		o.Benches = strings.Split(*bench, ",")
+	}
+	if *ckptDir != "" {
+		o.Runner.SetCheckpointDir(*ckptDir)
+		store, err := experiment.NewResultStore(*ckptDir, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsweep:", err)
+			return 1
+		}
+		o.Runner.SetResultStore(store)
 	}
 
 	report := telemetry.NewReport("tcpsweep")
@@ -99,6 +124,10 @@ func run() int {
 	if simulated, reused := o.Runner.BaselineStats(); reused > 0 {
 		fmt.Fprintf(os.Stderr, "tcpsweep: baseline cache: %d simulated, %d reused\n",
 			simulated, reused)
+	}
+	if warmups, forks := o.Runner.WarmForkStats(); forks > 0 {
+		fmt.Fprintf(os.Stderr, "tcpsweep: warm fork: %d warmups simulated, %d grid points forked\n",
+			warmups, forks)
 	}
 
 	if *jsonOut != "" {

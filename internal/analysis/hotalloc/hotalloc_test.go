@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotalloc(t *testing.T) {
-	analysistest.Run(t, hotalloc.Analyzer, "testdata", "a")
+	analysistest.Run(t, hotalloc.Analyzer, "testdata", "a", "ckptwriter")
 }

@@ -1,0 +1,36 @@
+// Package ckptwriter mirrors internal/checkpoint's Writer: the hot append
+// path extends the buffer in place and copies (slicing, len/cap and copy are
+// allocation-free and must not be flagged); growth spills to an unmarked
+// slow path where make is fine. The inline-append variant shows why the
+// spill must stay out of the marked function.
+package ckptwriter
+
+type writer struct {
+	buf []byte
+}
+
+// write is the checkpoint serialisation hot path.
+//
+//tcp:hotpath
+func (w *writer) write(p []byte) {
+	if len(w.buf)+len(p) > cap(w.buf) {
+		w.grow(len(p))
+	}
+	n := len(w.buf)
+	w.buf = w.buf[:n+len(p)]
+	copy(w.buf[n:], p)
+}
+
+// grow is the cold spill: allocating in an unmarked function is fine.
+func (w *writer) grow(n int) {
+	next := make([]byte, len(w.buf), 2*cap(w.buf)+n)
+	copy(next, w.buf)
+	w.buf = next
+}
+
+// inlineGrow folds the spill into the marked function and is flagged.
+//
+//tcp:hotpath
+func (w *writer) inlineGrow(p []byte) {
+	w.buf = append(w.buf, p...) // want `append may grow its backing array on the hot path`
+}

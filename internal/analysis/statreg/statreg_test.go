@@ -8,5 +8,5 @@ import (
 )
 
 func TestStatreg(t *testing.T) {
-	analysistest.Run(t, statreg.Analyzer, "testdata", "a")
+	analysistest.Run(t, statreg.Analyzer, "testdata", "a", "snapshot")
 }

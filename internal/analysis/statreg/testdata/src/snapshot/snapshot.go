@@ -1,0 +1,39 @@
+// Package snapshot exercises the statreg analyzer against the
+// checkpoint-restore idiom from internal/checkpoint: restoring counters
+// through the component-owned handles is the supported path, while seeding
+// restored state through Registry.Lookup handles bypasses the owning
+// component's accounting and is flagged.
+package snapshot
+
+import "tagprefetch/internal/telemetry"
+
+// phaseStats is a checkpointable component's telemetry: both fields are
+// registered, so a snapshot/restore cycle sees every metric.
+type phaseStats struct {
+	retired *telemetry.Counter
+	cycles  *telemetry.Counter
+}
+
+func wire(reg *telemetry.Registry) *phaseStats {
+	s := &phaseStats{}
+	s.retired = reg.Counter("phase.retired", "instructions retired this phase")
+	s.cycles = reg.Counter("phase.cycles", "cycles elapsed this phase")
+	return s
+}
+
+// restoreOwnedOK replays checkpointed values through the component-held
+// handles — the supported restore path.
+func restoreOwnedOK(s *phaseStats, retired, cycles uint64) {
+	s.retired.Store(retired)
+	s.cycles.Store(cycles)
+}
+
+// restoreViaLookup seeds restored state through a read-side Lookup handle,
+// bypassing the owning component, and is flagged.
+func restoreViaLookup(reg *telemetry.Registry, retired uint64) {
+	m, ok := reg.Lookup("phase.retired")
+	if !ok {
+		return
+	}
+	m.(*telemetry.Counter).Store(retired) // want `counter\.Store mutates a metric obtained from Registry\.Lookup`
+}

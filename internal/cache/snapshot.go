@@ -1,0 +1,126 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"tagprefetch/internal/checkpoint"
+	"tagprefetch/internal/telemetry"
+)
+
+// Save implements checkpoint.Snapshotter, writing every line frame (tags,
+// flags, timing metadata, and the unexported LRU stamp), the recency clock,
+// and the activity counters into a section named after the cache.
+func (c *Cache) Save(w *checkpoint.Writer) error {
+	w.Section("cache." + c.name)
+	w.I64(c.tick)
+	w.U32(uint32(c.geom.Sets()))
+	w.U32(uint32(c.geom.Ways()))
+	for _, set := range c.sets {
+		for i := range set {
+			ln := &set[i]
+			w.U64(ln.Tag)
+			w.Bool(ln.Valid)
+			w.Bool(ln.Dirty)
+			w.Bool(ln.Prefetched)
+			w.I64(ln.ReadyAt)
+			w.I64(ln.FilledAt)
+			w.I64(ln.LastTouch)
+			w.I64(ln.lru)
+		}
+	}
+	for _, m := range c.ctr.metrics() {
+		w.U64(m.(*telemetry.Counter).Value())
+	}
+	return nil
+}
+
+// Restore implements checkpoint.Snapshotter. The cache must have the same
+// geometry as the one that was saved.
+func (c *Cache) Restore(r *checkpoint.Reader) error {
+	if err := r.Section("cache." + c.name); err != nil {
+		return err
+	}
+	c.tick = r.I64()
+	sets, ways := int(r.U32()), int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if sets != c.geom.Sets() || ways != c.geom.Ways() {
+		return fmt.Errorf("cache %s: checkpoint geometry %dx%d, want %dx%d",
+			c.name, sets, ways, c.geom.Sets(), c.geom.Ways())
+	}
+	for _, set := range c.sets {
+		for i := range set {
+			ln := &set[i]
+			ln.Tag = r.U64()
+			ln.Valid = r.Bool()
+			ln.Dirty = r.Bool()
+			ln.Prefetched = r.Bool()
+			ln.ReadyAt = r.I64()
+			ln.FilledAt = r.I64()
+			ln.LastTouch = r.I64()
+			ln.lru = r.I64()
+		}
+	}
+	for _, m := range c.ctr.metrics() {
+		m.(*telemetry.Counter).Store(r.U64())
+	}
+	return r.Err()
+}
+
+// Save implements checkpoint.Snapshotter. In-flight entries are written in
+// ascending block-ID order so the image is deterministic regardless of map
+// iteration order.
+func (f *MSHRFile) Save(w *checkpoint.Writer) error {
+	w.Section("mshr")
+	w.U64(f.merges)
+	w.U64(f.allocs)
+	w.U64(f.fullStall)
+	keys := make([]uint64, 0, len(f.pending))
+	//lint:ignore tcplint/detmap keys are collected and sorted before serialisation, so iteration order cannot reach the checkpoint image
+	for k := range f.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		m := f.pending[k]
+		w.U64(m.Block)
+		w.I64(m.ReadyAt)
+		w.Int(m.Demands)
+		w.Bool(m.Prefetch)
+	}
+	return nil
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (f *MSHRFile) Restore(r *checkpoint.Reader) error {
+	if err := r.Section("mshr"); err != nil {
+		return err
+	}
+	f.merges = r.U64()
+	f.allocs = r.U64()
+	f.fullStall = r.U64()
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n > f.capacity {
+		return fmt.Errorf("mshr: checkpoint holds %d entries, capacity %d", n, f.capacity)
+	}
+	f.pending = make(map[uint64]*MSHR, f.capacity)
+	for i := 0; i < n; i++ {
+		m := &MSHR{
+			Block:    r.U64(),
+			ReadyAt:  r.I64(),
+			Demands:  r.Int(),
+			Prefetch: r.Bool(),
+		}
+		if r.Err() != nil {
+			break
+		}
+		f.pending[m.Block] = m
+	}
+	return r.Err()
+}

@@ -1,0 +1,60 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzRestore feeds arbitrary bytes through the checkpoint reader driving a
+// restore-shaped schema: the reader must either parse or fail cleanly with
+// an error, never panic, over-allocate, or read out of bounds — mirroring
+// internal/trace's FuzzReader contract.
+func FuzzRestore(f *testing.F) {
+	valid := buildImage()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(append([]byte(nil), valid[headerLen:]...))
+	f.Add([]byte{})
+	f.Add([]byte{0x54, 0x43, 0x50, 0x43}) // magic only
+	// A re-CRC'd corruption reaches the section parser instead of dying at
+	// the checksum gate.
+	mut := append([]byte(nil), valid...)
+	mut[headerLen+3] ^= 0x40
+	f.Add(reCRC(mut))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(data)
+		if err != nil {
+			if len(data) < headerLen+trailerLen && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("short input error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		// Drive the same shape a component restore would: sections in
+		// order, scalars, then bounded slices. Errors are sticky, so the
+		// whole walk is unconditional.
+		if err := r.Section("alpha"); err != nil {
+			return
+		}
+		r.U8()
+		r.Bool()
+		r.Bool()
+		r.U16()
+		r.U32()
+		r.U64()
+		r.I64()
+		r.Int()
+		r.F64()
+		if err := r.Section("beta"); err != nil {
+			return
+		}
+		_ = r.String()
+		_ = r.Bytes()
+		r.U64s()
+		r.I64s()
+		r.F64s()
+		var dst [2]int
+		r.ReadInts(dst[:])
+		_ = r.Finish()
+	})
+}

@@ -171,10 +171,21 @@ func (r Result) sub(w Result) Result {
 }
 
 // Core is the out-of-order processor model. Construct with New.
+//
+// Run state (the pipeline, cumulative counters, warm-boundary snapshot) is
+// held on the Core so a run can be advanced incrementally with AdvanceTo,
+// checkpointed mid-flight, and finished with Finish. RunMeasured remains the
+// one-shot entry point and resets this state on entry.
 type Core struct {
 	cfg  Config
 	mem  Memory
 	pred branch.Predictor
+
+	p       *pipeline
+	res     Result // cumulative counters since reset
+	done    uint64 // dynamic instructions processed since reset
+	warmed  bool   // MarkWarmBoundary has been called
+	warmRes Result // counters at the warm boundary (valid when warmed)
 
 	// telemetry (optional; nil fields are skipped on the hot path)
 	instrCtr *telemetry.Counter
@@ -189,7 +200,26 @@ func New(cfg Config, mem Memory) *Core {
 	if pred == nil {
 		pred = branch.NewGShare(12, 8)
 	}
-	return &Core{cfg: cfg, mem: mem, pred: pred}
+	c := &Core{cfg: cfg, mem: mem, pred: pred}
+	c.reset()
+	return c
+}
+
+// reset rebuilds the pipeline and clears all run state.
+func (c *Core) reset() {
+	c.p = newPipeline(c.cfg, c.mem, c.pred)
+	c.res = Result{}
+	c.done = 0
+	c.warmed = false
+	c.warmRes = Result{}
+}
+
+// SetOnLoadRetire installs (or clears) the load-retirement hook on a core
+// whose pipeline already exists — the warm-fork path uses it to attach a
+// criticality trainer at the warmup/measure boundary.
+func (c *Core) SetOnLoadRetire(fn func(pc uint64, critical bool)) {
+	c.cfg.OnLoadRetire = fn
+	c.p.cfg.OnLoadRetire = fn
 }
 
 // Config returns the effective configuration.
@@ -390,6 +420,65 @@ func (p *pipeline) step(i uint64, inst *workload.Inst, res *Result) {
 	}
 }
 
+// Done returns the number of dynamic instructions processed since reset.
+func (c *Core) Done() uint64 { return c.done }
+
+// Cycle returns the commit cycle of the most recently committed instruction.
+func (c *Core) Cycle() int64 { return c.p.lastCommit }
+
+// Warmed reports whether MarkWarmBoundary has been called.
+func (c *Core) Warmed() bool { return c.warmed }
+
+// AdvanceTo processes dynamic instructions from gen until `target` have been
+// processed since reset. Each iteration checks the sampler, draws the next
+// instruction, and steps the pipeline — exactly the per-instruction order of
+// the one-shot run loop, so an advance split at any point is bit-identical to
+// an unsplit one. A target at or below the current position is a no-op.
+func (c *Core) AdvanceTo(gen workload.Generator, target uint64) {
+	var inst workload.Inst
+	for c.done < target {
+		i := c.done
+		if c.sampler != nil && c.sampler.Due(c.p.lastCommit) {
+			c.syncCounters(i, c.p.lastCommit)
+			c.sampler.Sample(c.p.lastCommit, i)
+		}
+		gen.Next(&inst)
+		c.p.step(i, &inst, &c.res)
+		c.done = i + 1
+	}
+}
+
+// MarkWarmBoundary snapshots the cumulative counters at the current position
+// so Finish can report the measured window only, and invokes onBoundary (if
+// non-nil) with the boundary commit cycle — callers snapshot memory-system
+// statistics and mark sampling phases there.
+func (c *Core) MarkWarmBoundary(onBoundary func(cycle int64)) {
+	c.warmRes = c.res
+	c.warmRes.Instructions = c.done
+	c.warmRes.Cycles = c.p.lastCommit
+	c.warmed = true
+	if onBoundary != nil {
+		c.syncCounters(c.done, c.p.lastCommit)
+		onBoundary(c.p.lastCommit)
+	}
+}
+
+// Finish closes the run and returns its Result: the measured window when a
+// warm boundary was marked, the whole run otherwise.
+func (c *Core) Finish() Result {
+	res := c.res
+	res.Cycles = c.p.lastCommit
+	res.Instructions = c.done
+	c.syncCounters(c.done, c.p.lastCommit)
+	if c.warmed {
+		res = res.sub(c.warmRes)
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	return res
+}
+
 // RunMeasured executes warmup+measure dynamic instructions and reports
 // counters for the measured portion only — the analogue of the paper's
 // "skip the first 1 billion instructions ... then simulate 2 billion"
@@ -397,39 +486,12 @@ func (p *pipeline) step(i uint64, inst *workload.Inst, res *Result) {
 // has been processed, with the commit cycle at the boundary (callers
 // snapshot memory-system statistics and mark sampling phases there).
 func (c *Core) RunMeasured(gen workload.Generator, warmup, measure uint64, onBoundary func(cycle int64)) Result {
+	c.reset()
 	n := warmup + measure
-	var res, warmRes Result
-	res.Instructions = n
-
-	p := newPipeline(c.cfg, c.mem, c.pred)
-
-	var inst workload.Inst
-	for i := uint64(0); i < n; i++ {
-		if i == warmup && warmup > 0 {
-			warmRes = res
-			warmRes.Instructions = warmup
-			warmRes.Cycles = p.lastCommit
-			if onBoundary != nil {
-				c.syncCounters(i, p.lastCommit)
-				onBoundary(p.lastCommit)
-			}
-		}
-		if c.sampler != nil && c.sampler.Due(p.lastCommit) {
-			c.syncCounters(i, p.lastCommit)
-			c.sampler.Sample(p.lastCommit, i)
-		}
-		gen.Next(&inst)
-		p.step(i, &inst, &res)
+	if warmup > 0 && measure > 0 {
+		c.AdvanceTo(gen, warmup)
+		c.MarkWarmBoundary(onBoundary)
 	}
-
-	res.Cycles = p.lastCommit
-	res.Instructions = n
-	c.syncCounters(n, p.lastCommit)
-	if warmup > 0 {
-		res = res.sub(warmRes)
-	}
-	if res.Cycles > 0 {
-		res.IPC = float64(res.Instructions) / float64(res.Cycles)
-	}
-	return res
+	c.AdvanceTo(gen, n)
+	return c.Finish()
 }

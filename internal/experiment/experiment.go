@@ -36,6 +36,12 @@ type Options struct {
 	// Jobs is the simulation worker-pool width used when Runner is nil:
 	// 0 (default) uses all available cores, 1 runs strictly serially.
 	Jobs int
+	// BaselineWarmup runs every grid point's warmup under the no-prefetch
+	// baseline (sim.Config.BaselineWarmup), which lets the runner warm each
+	// benchmark once, checkpoint at the warmup/measure boundary, and fork
+	// every config from the snapshot — bit-identical to cold runs in the
+	// same mode, at a fraction of the wall-clock.
+	BaselineWarmup bool
 	// Runner executes the experiment's simulation jobs. Leave nil to give
 	// each experiment its own Jobs-wide pool; commands share one Runner
 	// across figures so the memoised no-prefetch baselines are simulated
@@ -63,7 +69,8 @@ func (o Options) withDefaults() Options {
 }
 
 func (o Options) simConfig() sim.Config {
-	return sim.Config{Instructions: o.Instructions, Warmup: o.Warmup, Seed: o.Seed}
+	return sim.Config{Instructions: o.Instructions, Warmup: o.Warmup, Seed: o.Seed,
+		BaselineWarmup: o.BaselineWarmup}
 }
 
 // Table1 renders the simulated machine configuration (paper Table 1).

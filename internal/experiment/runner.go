@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tagprefetch/internal/cpu"
 	"tagprefetch/internal/memsys"
 	"tagprefetch/internal/sim"
 )
@@ -64,8 +65,17 @@ type Runner struct {
 	mu       sync.Mutex
 	baseline map[baselineKey]*baselineEntry
 
+	// warm-fork state: shared baseline-warmed checkpoints (see warmfork.go)
+	// and the optional on-disk persistence / completed-result manifests.
+	checkpointDir string
+	store         *ResultStore
+	warmMu        sync.Mutex
+	warm          map[warmKey]*warmEntry
+
 	baselineRuns   atomic.Uint64
 	baselineReuses atomic.Uint64
+	warmWarmups    atomic.Uint64
+	warmForks      atomic.Uint64
 }
 
 // NewRunner creates a pool of the given width; jobs <= 0 uses all
@@ -74,7 +84,27 @@ func NewRunner(jobs int) *Runner {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{workers: jobs, baseline: make(map[baselineKey]*baselineEntry)}
+	return &Runner{
+		workers:  jobs,
+		baseline: make(map[baselineKey]*baselineEntry),
+		warm:     make(map[warmKey]*warmEntry),
+	}
+}
+
+// SetCheckpointDir enables on-disk persistence of warm-fork checkpoints in
+// dir (created on first write, images written atomically). Call before
+// submitting jobs.
+func (r *Runner) SetCheckpointDir(dir string) { r.checkpointDir = dir }
+
+// SetResultStore installs a completed-result manifest: every storable job
+// result is written there, and — when the store was opened in resume mode —
+// consulted before simulating, so a killed sweep picks up where it stopped.
+func (r *Runner) SetResultStore(s *ResultStore) { r.store = s }
+
+// WarmForkStats reports warm-fork effectiveness: warmups actually simulated
+// and grid points forked from a warm checkpoint.
+func (r *Runner) WarmForkStats() (warmups, forks uint64) {
+	return r.warmWarmups.Load(), r.warmForks.Load()
 }
 
 // Jobs returns the pool width.
@@ -101,13 +131,24 @@ type cpuKey struct {
 }
 
 type baselineKey struct {
-	bench        string
-	instructions uint64
-	warmup       uint64
-	noWarmup     bool
-	seed         uint64
-	cpu          cpuKey
-	mem          memsys.Config
+	bench          string
+	instructions   uint64
+	warmup         uint64
+	noWarmup       bool
+	baselineWarmup bool
+	seed           uint64
+	cpu            cpuKey
+	mem            memsys.Config
+}
+
+// cpuKeyFor extracts the comparable fingerprint of a cpu.Config.
+func cpuKeyFor(c cpu.Config) cpuKey {
+	return cpuKey{
+		issueWidth: c.IssueWidth, ruuSize: c.RUUSize, lsqSize: c.LSQSize,
+		intALU: c.IntALU, intMult: c.IntMult, fpALU: c.FPALU,
+		fpMult: c.FPMult, memPorts: c.MemPorts,
+		redirectPenalty: c.RedirectPenalty,
+	}
 }
 
 // baselineKeyFor fingerprints a baseline job's configuration. Configs that
@@ -121,18 +162,14 @@ func baselineKeyFor(j Job) (key baselineKey, ok bool) {
 	}
 	c = c.Normalized()
 	return baselineKey{
-		bench:        j.Bench,
-		instructions: c.Instructions,
-		warmup:       c.Warmup,
-		noWarmup:     c.NoWarmup,
-		seed:         c.Seed,
-		cpu: cpuKey{
-			issueWidth: c.CPU.IssueWidth, ruuSize: c.CPU.RUUSize, lsqSize: c.CPU.LSQSize,
-			intALU: c.CPU.IntALU, intMult: c.CPU.IntMult, fpALU: c.CPU.FPALU,
-			fpMult: c.CPU.FPMult, memPorts: c.CPU.MemPorts,
-			redirectPenalty: c.CPU.RedirectPenalty,
-		},
-		mem: c.Mem.WithDefaults(),
+		bench:          j.Bench,
+		instructions:   c.Instructions,
+		warmup:         c.Warmup,
+		noWarmup:       c.NoWarmup,
+		baselineWarmup: c.BaselineWarmup,
+		seed:           c.Seed,
+		cpu:            cpuKeyFor(c.CPU),
+		mem:            c.Mem.WithDefaults(),
 	}, true
 }
 
@@ -150,11 +187,20 @@ func (r *Runner) Map(jobs []Job) []sim.Result {
 
 func (r *Runner) run(j Job) sim.Result {
 	if !j.Baseline {
-		return sim.MustRun(j.Bench, j.Factory, j.Config)
+		if res, ok := r.store.Lookup(j.Bench, j.Factory.Name, false, j.Config); ok {
+			return res
+		}
+		res := r.simulate(j.Bench, j.Factory, j.Config)
+		r.store.Save(j.Bench, j.Factory.Name, false, j.Config, res)
+		return res
 	}
+	base := sim.NoPrefetch()
 	key, ok := baselineKeyFor(j)
 	if !ok {
-		return sim.MustRun(j.Bench, sim.NoPrefetch(), j.Config)
+		return r.simulate(j.Bench, base, j.Config)
+	}
+	if res, ok := r.store.Lookup(j.Bench, base.Name, true, j.Config); ok {
+		return res
 	}
 	r.mu.Lock()
 	e := r.baseline[key]
@@ -169,7 +215,8 @@ func (r *Runner) run(j Job) sim.Result {
 	// latecomers block until the result is ready.
 	e.once.Do(func() {
 		r.baselineRuns.Add(1)
-		e.res = sim.MustRun(j.Bench, sim.NoPrefetch(), j.Config)
+		e.res = r.simulate(j.Bench, base, j.Config)
+		r.store.Save(j.Bench, base.Name, true, j.Config, e.res)
 	})
 	return e.res
 }

@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"tagprefetch/internal/sim"
+)
+
+// ResultStore persists completed per-job results as one JSON manifest per
+// job under a directory, written atomically (temp file + rename), so a sweep
+// killed mid-grid can be resumed: re-running with resume enabled answers
+// already-completed jobs from disk and simulates only the remainder.
+// sim.Result round-trips JSON exactly (integer counters and shortest-repr
+// floats), so a resumed sweep's tables are byte-identical to an
+// uninterrupted run's.
+type ResultStore struct {
+	dir    string
+	resume bool
+}
+
+// NewResultStore opens (creating if needed) a manifest directory. When
+// resume is true, Lookup consults existing manifests; when false the store
+// only records results, so a later invocation can resume.
+func NewResultStore(dir string, resume bool) (*ResultStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &ResultStore{dir: dir, resume: resume}, nil
+}
+
+// storedResult is the manifest schema. Bench/Factory/Baseline echo the job
+// identity so a filename hash collision is detected instead of trusted.
+type storedResult struct {
+	Bench    string
+	Factory  string
+	Baseline bool
+	Result   sim.Result
+}
+
+// jobFile names a job's manifest by hashing its canonical normalized
+// configuration. Jobs carrying behaviour the hash cannot capture (custom
+// predictor instances, retirement callbacks, telemetry) are not storable
+// and report ok == false.
+func jobFile(bench, factory string, baseline bool, c sim.Config) (string, bool) {
+	if c.CPU.Predictor != nil || c.CPU.OnLoadRetire != nil || c.Telemetry != nil {
+		return "", false
+	}
+	n := c.Normalized()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%v|%d|%d|%v|%d|%v|%+v|%+v",
+		bench, factory, baseline, n.Instructions, n.Warmup, n.NoWarmup, n.Seed,
+		n.BaselineWarmup, cpuKeyFor(n.CPU), n.Mem.WithDefaults())
+	return fmt.Sprintf("job-%016x.json", h.Sum64()), true
+}
+
+// Lookup returns the stored result for a job, if the store is in resume mode
+// and a manifest with a matching identity exists. A nil store never hits.
+func (s *ResultStore) Lookup(bench, factory string, baseline bool, c sim.Config) (sim.Result, bool) {
+	if s == nil || !s.resume {
+		return sim.Result{}, false
+	}
+	name, ok := jobFile(bench, factory, baseline, c)
+	if !ok {
+		return sim.Result{}, false
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		return sim.Result{}, false
+	}
+	var sr storedResult
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return sim.Result{}, false
+	}
+	if sr.Bench != bench || sr.Factory != factory || sr.Baseline != baseline {
+		return sim.Result{}, false
+	}
+	return sr.Result, true
+}
+
+// Save records a completed job result, atomically. Failures are silent by
+// design: the store is a cache, and the in-memory result is authoritative.
+func (s *ResultStore) Save(bench, factory string, baseline bool, c sim.Config, res sim.Result) {
+	if s == nil {
+		return
+	}
+	name, ok := jobFile(bench, factory, baseline, c)
+	if !ok {
+		return
+	}
+	data, err := json.MarshalIndent(storedResult{
+		Bench: bench, Factory: factory, Baseline: baseline, Result: res,
+	}, "", "  ")
+	if err != nil {
+		return
+	}
+	path := filepath.Join(s.dir, name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+	}
+}

@@ -1,0 +1,399 @@
+package sim
+
+import (
+	"fmt"
+
+	"tagprefetch/internal/addr"
+	"tagprefetch/internal/cache"
+	"tagprefetch/internal/checkpoint"
+	"tagprefetch/internal/cpu"
+	"tagprefetch/internal/critical"
+	"tagprefetch/internal/deadblock"
+	"tagprefetch/internal/memsys"
+	"tagprefetch/internal/prefetch"
+	"tagprefetch/internal/workload"
+)
+
+// Machine is one fully-assembled simulated system — core, memory hierarchy,
+// prefetcher and workload generator — that can be advanced incrementally
+// with RunTo, checkpointed at any instruction boundary, restored, and
+// finished into a Result. Restoring a checkpoint into a machine built from
+// the same spec, factory and config and continuing is bit-identical to an
+// uninterrupted run: the per-instruction loop order is preserved across the
+// split and every component serialises its complete dynamic state.
+type Machine struct {
+	spec   workload.Spec
+	f      Factory
+	cfg    Config        // normalized
+	memCfg memsys.Config // normalized, including the hybrid prefetch bus
+
+	mem  *memsys.MemSys
+	core *cpu.Core
+	gen  workload.Generator
+	pf   prefetch.Prefetcher // the factory's prefetcher (parked or attached)
+
+	// Components parked during a baseline warmup (Config.BaselineWarmup)
+	// and attached at the warmup/measure boundary, so every grid config
+	// shares one bit-identical warm state for warm-fork sweeps.
+	parked       bool
+	parkedAtL2   bool
+	parkedDbp    *deadblock.Predictor
+	parkedRetire func(pc uint64, critical bool)
+
+	memAtBoundary              memsys.Stats
+	l1AtBoundary, l2AtBoundary cache.Stats
+}
+
+// NewMachine assembles a machine for the given workload spec, prefetcher
+// factory and config. The config is validated first; construction never
+// panics on bad numeric fields.
+func NewMachine(spec workload.Spec, f Factory, cfg Config) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	memCfg := cfg.Mem.WithDefaults()
+
+	buildGeom := memCfg.L1D
+	if f.AtL2 {
+		buildGeom = memCfg.L2
+	}
+	pf, hybrid := f.Build(buildGeom)
+	if pf == nil {
+		pf = prefetch.None{}
+	}
+	if hybrid {
+		memCfg.PrefetchBus = true
+	}
+	retire := cfg.CPU.OnLoadRetire
+	if f.CriticalFilter {
+		pred := critical.New(12)
+		pf = prefetch.NewCriticalFiltered(pf, pred)
+		retire = pred.Train
+	}
+	var dbp *deadblock.Predictor
+	if hybrid {
+		dbp = deadblock.New(deadblock.Config{Geom: memCfg.L1D})
+	}
+
+	m := &Machine{spec: spec, f: f, cfg: cfg, memCfg: memCfg, pf: pf}
+	if cfg.BaselineWarmup && cfg.Warmup > 0 {
+		// Park the scheme under test: warmup runs under the no-prefetch
+		// baseline and the real components attach at the boundary. A cold
+		// run in this mode is bit-identical to restoring a baseline-warmed
+		// checkpoint and attaching the scheme, which is what makes forked
+		// sweeps exact.
+		m.parked = true
+		m.parkedAtL2 = f.AtL2
+		m.parkedDbp = dbp
+		m.parkedRetire = retire
+		m.cfg.CPU.OnLoadRetire = nil
+		m.mem = memsys.New(memCfg, prefetch.None{})
+	} else {
+		m.cfg.CPU.OnLoadRetire = retire
+		if f.AtL2 {
+			m.mem = memsys.New(memCfg, prefetch.None{})
+			m.mem.UseL2Prefetcher(pf)
+		} else {
+			m.mem = memsys.New(memCfg, pf)
+		}
+		if dbp != nil {
+			m.mem.UseDeadBlockPredictor(dbp)
+		}
+	}
+	m.core = cpu.New(m.cfg.CPU, m.mem)
+	m.gen = workload.New(spec, m.cfg.Seed)
+
+	if tel := m.cfg.Telemetry; tel != nil {
+		attachTelemetry(tel, m.mem, m.core, m.cfg)
+	}
+	return m, nil
+}
+
+// Position returns the number of dynamic instructions processed so far
+// (warmup included).
+func (m *Machine) Position() uint64 { return m.core.Done() }
+
+// Total returns the configured run length, warmup plus measured window.
+func (m *Machine) Total() uint64 { return m.cfg.Warmup + m.cfg.Instructions }
+
+// RunTo advances the machine to target dynamic instructions from the start
+// of the run, clamped to Total. The warmup/measure boundary — parked
+// component attachment, statistics snapshots, the sampler phase mark — runs
+// only when the advance crosses it, so RunTo(warmup) leaves the machine in
+// the pre-boundary state that warm-fork checkpoints capture.
+func (m *Machine) RunTo(target uint64) {
+	w, n := m.cfg.Warmup, m.Total()
+	if target > n {
+		target = n
+	}
+	if t := min(target, w); m.core.Done() < t {
+		m.core.AdvanceTo(m.gen, t)
+	}
+	if target > w && w > 0 && !m.core.Warmed() {
+		m.boundary()
+	}
+	m.core.AdvanceTo(m.gen, target)
+}
+
+// Run advances to the end of the configured run and returns its Result.
+func (m *Machine) Run() Result {
+	m.RunTo(m.Total())
+	return m.finish()
+}
+
+func (m *Machine) boundary() {
+	m.attachParked()
+	m.core.MarkWarmBoundary(func(cycle int64) {
+		m.memAtBoundary = m.mem.Stats()
+		m.l1AtBoundary = m.mem.L1Stats()
+		m.l2AtBoundary = m.mem.L2Stats()
+		if tel := m.cfg.Telemetry; tel != nil && tel.Sampler != nil {
+			tel.Sampler.MarkPhase("measure", cycle, m.cfg.Warmup)
+		}
+	})
+}
+
+func (m *Machine) attachParked() {
+	if !m.parked {
+		return
+	}
+	m.parked = false
+	if m.parkedAtL2 {
+		m.mem.UseL2Prefetcher(m.pf)
+	} else {
+		m.mem.UsePrefetcher(m.pf)
+	}
+	if m.parkedDbp != nil {
+		m.mem.UseDeadBlockPredictor(m.parkedDbp)
+	}
+	if m.parkedRetire != nil {
+		m.core.SetOnLoadRetire(m.parkedRetire)
+	}
+}
+
+// finish closes the run: end-of-run accounting, measured-window subtraction,
+// gauge export. All of Result's counter groups report the measured window
+// only when a warm boundary was crossed.
+func (m *Machine) finish() Result {
+	cpuRes := m.core.Finish()
+	m.mem.Finish()
+	memStats := m.mem.Stats().Sub(m.memAtBoundary)
+	if tel := m.cfg.Telemetry; tel != nil {
+		exportRunGauges(tel.Registry, cpuRes, memStats)
+	}
+	return Result{
+		Benchmark:             m.spec.Name,
+		Prefetcher:            m.f.Name,
+		CPU:                   cpuRes,
+		Mem:                   memStats,
+		L1:                    m.mem.L1Stats().Sub(m.l1AtBoundary),
+		L2:                    m.mem.L2Stats().Sub(m.l2AtBoundary),
+		PrefetcherStorageBits: m.pf.StorageBits(),
+	}
+}
+
+func saveMemStats(w *checkpoint.Writer, s *memsys.Stats) {
+	w.U64(s.Accesses)
+	w.U64(s.L1Hits)
+	w.U64(s.L1Misses)
+	w.U64(s.MSHRMerges)
+	w.U64(s.MSHRStalls)
+	w.U64(s.L2Demand)
+	w.U64(s.PrefetchedOriginal)
+	w.U64(s.NonPrefetchedOriginal)
+	w.U64(s.PrefetchedExtra)
+	w.U64(s.L2Hits)
+	w.U64(s.L2Misses)
+	w.U64(s.PrefetchIssued)
+	w.U64(s.PrefetchDropped)
+	w.U64(s.PrefetchFills)
+	w.U64(s.PrefetchToL1Fills)
+	w.U64(s.PrefetchL1Rejected)
+}
+
+func restoreMemStats(r *checkpoint.Reader, s *memsys.Stats) {
+	s.Accesses = r.U64()
+	s.L1Hits = r.U64()
+	s.L1Misses = r.U64()
+	s.MSHRMerges = r.U64()
+	s.MSHRStalls = r.U64()
+	s.L2Demand = r.U64()
+	s.PrefetchedOriginal = r.U64()
+	s.NonPrefetchedOriginal = r.U64()
+	s.PrefetchedExtra = r.U64()
+	s.L2Hits = r.U64()
+	s.L2Misses = r.U64()
+	s.PrefetchIssued = r.U64()
+	s.PrefetchDropped = r.U64()
+	s.PrefetchFills = r.U64()
+	s.PrefetchToL1Fills = r.U64()
+	s.PrefetchL1Rejected = r.U64()
+}
+
+func saveCacheStats(w *checkpoint.Writer, s *cache.Stats) {
+	w.U64(s.Accesses)
+	w.U64(s.Hits)
+	w.U64(s.Misses)
+	w.U64(s.HitsOnPrefetch)
+	w.U64(s.LateHits)
+	w.U64(s.Fills)
+	w.U64(s.PrefetchFills)
+	w.U64(s.Evictions)
+	w.U64(s.Writebacks)
+	w.U64(s.UnusedPrefetchEvicted)
+}
+
+func restoreCacheStats(r *checkpoint.Reader, s *cache.Stats) {
+	s.Accesses = r.U64()
+	s.Hits = r.U64()
+	s.Misses = r.U64()
+	s.HitsOnPrefetch = r.U64()
+	s.LateHits = r.U64()
+	s.Fills = r.U64()
+	s.PrefetchFills = r.U64()
+	s.Evictions = r.U64()
+	s.Writebacks = r.U64()
+	s.UnusedPrefetchEvicted = r.U64()
+}
+
+// Save implements checkpoint.Snapshotter: an identity section (benchmark,
+// seed, warmup, position, cache geometries, boundary snapshots) followed by
+// every component's own section — CPU, workload generator, memory hierarchy,
+// and the telemetry sampler when one is attached. The configured measured
+// window is deliberately not part of the identity: the warm state at any
+// pre-boundary position does not depend on it, which is what lets one
+// baseline warmup fork into grid points with different measure lengths.
+func (m *Machine) Save(w *checkpoint.Writer) error {
+	w.Section("machine")
+	w.String(m.spec.Name)
+	w.U64(m.cfg.Seed)
+	w.U64(m.cfg.Warmup)
+	w.U64(m.core.Done())
+	for _, g := range [...]addr.Geometry{m.memCfg.L1D, m.memCfg.L2} {
+		w.Int(g.SizeBytes())
+		w.Int(g.Ways())
+		w.Int(g.BlockBytes())
+	}
+	hasSampler := m.cfg.Telemetry != nil && m.cfg.Telemetry.Sampler != nil
+	w.Bool(hasSampler)
+	w.Bool(m.core.Warmed())
+	if m.core.Warmed() {
+		saveMemStats(w, &m.memAtBoundary)
+		saveCacheStats(w, &m.l1AtBoundary)
+		saveCacheStats(w, &m.l2AtBoundary)
+	}
+	if err := m.core.Save(w); err != nil {
+		return err
+	}
+	gen, ok := m.gen.(checkpoint.Snapshotter)
+	if !ok {
+		return fmt.Errorf("sim: workload generator %s is not checkpointable", m.gen.Name())
+	}
+	if err := gen.Save(w); err != nil {
+		return err
+	}
+	if err := m.mem.Save(w); err != nil {
+		return err
+	}
+	if hasSampler {
+		return m.cfg.Telemetry.Sampler.Save(w)
+	}
+	return nil
+}
+
+// Restore implements checkpoint.Snapshotter. The machine must be freshly
+// constructed (nothing run yet) from the same benchmark, seed, warmup and
+// cache geometries as the saver; a post-boundary checkpoint attaches the
+// parked components first so section names line up with the saved image.
+func (m *Machine) Restore(r *checkpoint.Reader) error {
+	if m.core.Done() != 0 {
+		return fmt.Errorf("sim: checkpoint restore requires a fresh machine")
+	}
+	if err := r.Section("machine"); err != nil {
+		return err
+	}
+	name := r.String()
+	seed := r.U64()
+	warmup := r.U64()
+	done := r.U64()
+	var geo [6]int
+	for i := range geo {
+		geo[i] = r.Int()
+	}
+	hasSampler := r.Bool()
+	warmed := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if name != m.spec.Name {
+		return fmt.Errorf("sim: checkpoint for benchmark %q, machine runs %q", name, m.spec.Name)
+	}
+	if seed != m.cfg.Seed {
+		return fmt.Errorf("sim: checkpoint seed %d, machine seed %d", seed, m.cfg.Seed)
+	}
+	if warmup != m.cfg.Warmup {
+		return fmt.Errorf("sim: checkpoint warmup %d, machine warmup %d", warmup, m.cfg.Warmup)
+	}
+	want := [6]int{
+		m.memCfg.L1D.SizeBytes(), m.memCfg.L1D.Ways(), m.memCfg.L1D.BlockBytes(),
+		m.memCfg.L2.SizeBytes(), m.memCfg.L2.Ways(), m.memCfg.L2.BlockBytes(),
+	}
+	if geo != want {
+		return fmt.Errorf("sim: checkpoint cache geometry %v, machine %v", geo, want)
+	}
+	if machineSampler := m.cfg.Telemetry != nil && m.cfg.Telemetry.Sampler != nil; hasSampler != machineSampler {
+		return fmt.Errorf("sim: checkpoint sampler presence %v, machine %v", hasSampler, machineSampler)
+	}
+	if done > m.Total() {
+		return fmt.Errorf("sim: checkpoint position %d beyond run length %d", done, m.Total())
+	}
+	if warmed {
+		m.attachParked()
+		restoreMemStats(r, &m.memAtBoundary)
+		restoreCacheStats(r, &m.l1AtBoundary)
+		restoreCacheStats(r, &m.l2AtBoundary)
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	if err := m.core.Restore(r); err != nil {
+		return err
+	}
+	gen, ok := m.gen.(checkpoint.Snapshotter)
+	if !ok {
+		return fmt.Errorf("sim: workload generator %s is not checkpointable", m.gen.Name())
+	}
+	if err := gen.Restore(r); err != nil {
+		return err
+	}
+	if err := m.mem.Restore(r); err != nil {
+		return err
+	}
+	if hasSampler {
+		return m.cfg.Telemetry.Sampler.Restore(r)
+	}
+	return nil
+}
+
+// Checkpoint serialises the machine into a complete checkpoint image
+// (header, sections, CRC trailer).
+func (m *Machine) Checkpoint() ([]byte, error) {
+	w := checkpoint.NewWriter()
+	if err := m.Save(w); err != nil {
+		return nil, err
+	}
+	return w.Finish(), nil
+}
+
+// RestoreImage restores the machine from a complete checkpoint image.
+func (m *Machine) RestoreImage(data []byte) error {
+	r, err := checkpoint.NewReader(data)
+	if err != nil {
+		return err
+	}
+	if err := m.Restore(r); err != nil {
+		return err
+	}
+	return r.Finish()
+}

@@ -12,9 +12,7 @@ import (
 	"tagprefetch/internal/cache"
 	"tagprefetch/internal/core"
 	"tagprefetch/internal/cpu"
-	"tagprefetch/internal/critical"
 	"tagprefetch/internal/dbcp"
-	"tagprefetch/internal/deadblock"
 	"tagprefetch/internal/memsys"
 	"tagprefetch/internal/prefetch"
 	"tagprefetch/internal/telemetry"
@@ -39,6 +37,14 @@ type Config struct {
 	NoWarmup bool
 	// Seed drives all pseudo-random workload choices (default 1).
 	Seed uint64
+
+	// BaselineWarmup runs the warmup window under the no-prefetch baseline
+	// — the prefetcher, dead-block predictor and criticality trainer are
+	// parked and attach at the warmup/measure boundary. Every config then
+	// shares one bit-identical warm state, so a sweep can warm a benchmark
+	// once, checkpoint at the boundary, and fork each grid point from the
+	// snapshot with results identical to running it cold in this mode.
+	BaselineWarmup bool
 
 	// Telemetry, if non-nil, receives the run's observability: every
 	// component registers its counters into Telemetry.Registry (memsys
@@ -119,6 +125,12 @@ func TCPWithPHT(phtBytes, indexBits int, toL1 bool) Factory {
 	sets := phtBytes / (8 * 4)
 	if sets < 1 {
 		sets = 1
+	}
+	// The PHT is indexed by masking, so the set count must be a power of
+	// two; round a ragged byte budget down instead of letting core.New
+	// panic on it.
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
 	}
 	name := fmt.Sprintf("tcp-%s", sizeLabel(phtBytes))
 	if indexBits > 0 {
@@ -229,12 +241,18 @@ type Result struct {
 func (r Result) IPC() float64 { return r.CPU.IPC }
 
 // Run simulates the named SPEC2000 model with the given prefetcher factory.
+// The config is validated; a bad field returns a *ConfigError instead of
+// panicking during construction.
 func Run(bench string, f Factory, cfg Config) (Result, error) {
 	spec, err := workload.Spec2000(bench)
 	if err != nil {
 		return Result{}, err
 	}
-	return RunSpec(spec, f, cfg), nil
+	m, err := NewMachine(spec, f, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run(), nil
 }
 
 // MustRun is Run but panics on unknown benchmarks (experiment tables).
@@ -247,69 +265,15 @@ func MustRun(bench string, f Factory, cfg Config) Result {
 }
 
 // RunSpec simulates an explicit workload spec with the given prefetcher.
+// It panics on an invalid config (use NewMachine or Run for the error);
+// previously the same configs panicked deeper, in geometry or PHT
+// construction, with a less helpful message.
 func RunSpec(spec workload.Spec, f Factory, cfg Config) Result {
-	cfg = cfg.withDefaults()
-	memCfg := cfg.Mem.WithDefaults()
-
-	buildGeom := memCfg.L1D
-	if f.AtL2 {
-		buildGeom = memCfg.L2
+	m, err := NewMachine(spec, f, cfg)
+	if err != nil {
+		panic(err)
 	}
-	pf, hybrid := f.Build(buildGeom)
-	if hybrid {
-		memCfg.PrefetchBus = true
-	}
-	if f.CriticalFilter {
-		pred := critical.New(12)
-		pf = prefetch.NewCriticalFiltered(pf, pred)
-		cfg.CPU.OnLoadRetire = pred.Train
-	}
-	var mem *memsys.MemSys
-	if f.AtL2 {
-		mem = memsys.New(memCfg, prefetch.None{})
-		mem.UseL2Prefetcher(pf)
-	} else {
-		mem = memsys.New(memCfg, pf)
-	}
-	if hybrid {
-		mem.UseDeadBlockPredictor(deadblock.New(deadblock.Config{Geom: memCfg.L1D}))
-	}
-	coreM := cpu.New(cfg.CPU, mem)
-	gen := workload.New(spec, cfg.Seed)
-
-	tel := cfg.Telemetry
-	if tel != nil {
-		attachTelemetry(tel, mem, coreM, cfg)
-	}
-
-	// All of Result's counters report the measured window: the hierarchy
-	// and per-cache stats are snapshotted at the warmup/measure boundary
-	// and subtracted, so Result.L1/Result.L2 agree with Result.Mem.
-	var memAtBoundary memsys.Stats
-	var l1AtBoundary, l2AtBoundary cache.Stats
-	cpuRes := coreM.RunMeasured(gen, cfg.Warmup, cfg.Instructions, func(cycle int64) {
-		memAtBoundary = mem.Stats()
-		l1AtBoundary = mem.L1Stats()
-		l2AtBoundary = mem.L2Stats()
-		if tel != nil && tel.Sampler != nil {
-			tel.Sampler.MarkPhase("measure", cycle, cfg.Warmup)
-		}
-	})
-	mem.Finish()
-	memStats := mem.Stats().Sub(memAtBoundary)
-	if tel != nil {
-		exportRunGauges(tel.Registry, cpuRes, memStats)
-	}
-
-	return Result{
-		Benchmark:             spec.Name,
-		Prefetcher:            f.Name,
-		CPU:                   cpuRes,
-		Mem:                   memStats,
-		L1:                    mem.L1Stats().Sub(l1AtBoundary),
-		L2:                    mem.L2Stats().Sub(l2AtBoundary),
-		PrefetcherStorageBits: pf.StorageBits(),
-	}
+	return m.Run()
 }
 
 // attachTelemetry registers the system's components into the run's

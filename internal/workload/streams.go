@@ -1,12 +1,19 @@
 package workload
 
-import "tagprefetch/internal/xrand"
+import (
+	"tagprefetch/internal/checkpoint"
+	"tagprefetch/internal/xrand"
+)
 
 // stream produces a deterministic address sequence. next returns the byte
 // address and whether the access is address-dependent on the stream's
-// previous access (true only for pointer chases).
+// previous access (true only for pointer chases). save/restore checkpoint
+// the stream's dynamic cursor only — structure (footprints, permutations)
+// is rebuilt by Reset; see snapshot.go.
 type stream interface {
 	next() (addr uint64, chained bool)
+	save(w *checkpoint.Writer)
+	restore(r *checkpoint.Reader) error
 }
 
 func newStream(ss StreamSpec, base uint64, r *xrand.Rand) stream {
