@@ -14,18 +14,22 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"tagprefetch/internal/experiment"
+	"tagprefetch/internal/experiment/distrib"
 	"tagprefetch/internal/profiler"
 	"tagprefetch/internal/profiling"
 	"tagprefetch/internal/sim"
 	"tagprefetch/internal/stats"
 	"tagprefetch/internal/telemetry"
+	"tagprefetch/internal/workload"
 )
 
 // main delegates to run so that error exits unwind normally: os.Exit would
@@ -49,6 +53,11 @@ func run() int {
 		warmFork = flag.Bool("warmfork", false, "run every warmup under the no-prefetch baseline and fork grid points from one warm checkpoint per benchmark")
 		ckptDir  = flag.String("checkpoint-dir", "", "persist warm checkpoints and per-job result manifests in this directory")
 		resume   = flag.Bool("resume", false, "answer already-completed jobs from -checkpoint-dir manifests instead of re-simulating")
+
+		workers  = flag.Int("workers", 0, "join a distributed run splitting this grid over -checkpoint-dir (the value is advisory: any number of workers may cooperate)")
+		workerID = flag.String("worker-id", "", "unique id for this worker in a distributed run (default hostname-pid; implies -workers)")
+		leaseTTL = flag.Duration("lease-ttl", 30*time.Second, "heartbeat staleness horizon before a crashed worker's job leases may be stolen")
+		gather   = flag.Bool("gather", false, "assemble a completed distributed run from -checkpoint-dir manifests without simulating; errors if any job is missing")
 	)
 	flag.Parse()
 
@@ -71,8 +80,19 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "tcpfigs:", err)
 		return 2
 	}
-	if *resume && *ckptDir == "" {
+	workerMode := *workers > 0 || *workerID != ""
+	switch {
+	case *resume && *ckptDir == "":
 		fmt.Fprintln(os.Stderr, "tcpfigs: -resume requires -checkpoint-dir")
+		return 2
+	case workerMode && *ckptDir == "":
+		fmt.Fprintln(os.Stderr, "tcpfigs: -workers/-worker-id require -checkpoint-dir (the shared directory is the coordination medium)")
+		return 2
+	case *gather && *ckptDir == "":
+		fmt.Fprintln(os.Stderr, "tcpfigs: -gather requires -checkpoint-dir")
+		return 2
+	case *gather && workerMode:
+		fmt.Fprintln(os.Stderr, "tcpfigs: -gather and -workers are mutually exclusive (gather assembles after the workers finish)")
 		return 2
 	}
 
@@ -83,14 +103,49 @@ func run() int {
 	if *bench != "" {
 		o.Benches = strings.Split(*bench, ",")
 	}
+	var claims *distrib.Store
 	if *ckptDir != "" {
+		benches := o.Benches
+		if len(benches) == 0 {
+			benches = workload.Names()
+		}
+		desc := experiment.GridDesc{Tool: "tcpfigs", Experiment: *exp,
+			Instructions: *n, Warmup: *warm, Seed: *seed, Benches: benches, WarmFork: *warmFork}
+		if err := experiment.EnsureGrid(*ckptDir, desc, !*resume && !workerMode && !*gather); err != nil {
+			fmt.Fprintln(os.Stderr, "tcpfigs:", err)
+			var gm *experiment.GridMismatchError
+			if errors.As(err, &gm) {
+				return 2
+			}
+			return 1
+		}
 		o.Runner.SetCheckpointDir(*ckptDir)
-		store, err := experiment.NewResultStore(*ckptDir, *resume)
+		store, err := experiment.NewResultStore(*ckptDir, *resume || workerMode || *gather)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tcpfigs:", err)
 			return 1
 		}
 		o.Runner.SetResultStore(store)
+
+		if workerMode {
+			id := *workerID
+			if id == "" {
+				host, _ := os.Hostname()
+				if host == "" {
+					host = "worker"
+				}
+				id = fmt.Sprintf("%s-%d", host, os.Getpid())
+			}
+			claims, err = distrib.NewStore(*ckptDir, id, *leaseTTL, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcpfigs:", err)
+				return 1
+			}
+			o.Runner.SetClaims(claims)
+		}
+		if *gather {
+			o.Runner.SetStrictGather(true)
+		}
 	}
 
 	ids := []string{*exp}
@@ -120,7 +175,19 @@ func run() int {
 		return prof
 	}
 
-	for _, id := range ids {
+	// A strict gather over an incomplete grid raises
+	// *experiment.IncompleteGridError through the runner; surface it as an
+	// ordinary error instead of a crash.
+	runExp := func(id string) (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				if ige, ok := p.(*experiment.IncompleteGridError); ok {
+					err = ige
+					return
+				}
+				panic(p)
+			}
+		}()
 		switch id {
 		case "table1":
 			emit(experiment.Table1())
@@ -168,7 +235,18 @@ func run() int {
 			emit(experiment.AblationPlacement(o))
 			fmt.Println(experiment.AblationBranchPredictors(o).String())
 		default:
-			fmt.Fprintf(os.Stderr, "tcpfigs: unknown experiment %q\n", id)
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		return nil
+	}
+
+	for _, id := range ids {
+		if err := runExp(id); err != nil {
+			fmt.Fprintln(os.Stderr, "tcpfigs:", err)
+			var ige *experiment.IncompleteGridError
+			if errors.As(err, &ige) {
+				return 1
+			}
 			return 2
 		}
 		if bad {
@@ -183,6 +261,15 @@ func run() int {
 	if warmups, forks := o.Runner.WarmForkStats(); forks > 0 {
 		fmt.Fprintf(os.Stderr, "tcpfigs: warm fork: %d warmups simulated, %d grid points forked\n",
 			warmups, forks)
+	}
+	if hits := o.Runner.StoreStats(); hits > 0 {
+		fmt.Fprintf(os.Stderr, "tcpfigs: %d jobs answered from result manifests\n", hits)
+	}
+	if claims != nil {
+		st := claims.Stats()
+		fmt.Fprintf(os.Stderr, "tcpfigs: worker %s: %d claimed, %d conflicts, %d stolen (%d races), %d heartbeats, %d lost, %d waits\n",
+			claims.Worker(), st.Claims, st.ClaimConflicts, st.Steals, st.StealRaces,
+			st.Heartbeats, st.LeasesLost, st.WaitPolls)
 	}
 	return 0
 }

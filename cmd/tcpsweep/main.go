@@ -9,20 +9,30 @@
 //	tcpsweep -sweep size -jobs 1          # strictly serial execution
 //	tcpsweep -sweep size -warmfork -checkpoint-dir ckpt   # warm once, fork grid
 //	tcpsweep -sweep size -checkpoint-dir ckpt -resume     # resume a killed sweep
+//
+// Several hosts sharing storage can split one grid (docs/DISTRIBUTED.md):
+//
+//	tcpsweep -sweep size -checkpoint-dir shared -workers 3 -worker-id a
+//	tcpsweep -sweep size -checkpoint-dir shared -workers 3 -worker-id b
+//	tcpsweep -sweep size -checkpoint-dir shared -gather   # assemble output
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"tagprefetch/internal/experiment"
+	"tagprefetch/internal/experiment/distrib"
 	"tagprefetch/internal/profiling"
 	"tagprefetch/internal/sim"
 	"tagprefetch/internal/stats"
 	"tagprefetch/internal/telemetry"
+	"tagprefetch/internal/workload"
 )
 
 // main delegates to run so that error exits unwind normally: os.Exit would
@@ -45,6 +55,11 @@ func run() int {
 		warmFork = flag.Bool("warmfork", false, "run every warmup under the no-prefetch baseline and fork grid points from one warm checkpoint per benchmark")
 		ckptDir  = flag.String("checkpoint-dir", "", "persist warm checkpoints and per-job result manifests in this directory")
 		resume   = flag.Bool("resume", false, "answer already-completed jobs from -checkpoint-dir manifests instead of re-simulating")
+
+		workers  = flag.Int("workers", 0, "join a distributed sweep splitting this grid over -checkpoint-dir (the value is advisory: any number of workers may cooperate)")
+		workerID = flag.String("worker-id", "", "unique id for this worker in a distributed sweep (default hostname-pid; implies -workers)")
+		leaseTTL = flag.Duration("lease-ttl", 30*time.Second, "heartbeat staleness horizon before a crashed worker's job leases may be stolen")
+		gather   = flag.Bool("gather", false, "assemble a completed distributed sweep from -checkpoint-dir manifests without simulating; errors if any job is missing")
 	)
 	flag.Parse()
 
@@ -59,8 +74,19 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "tcpsweep:", err)
 		return 2
 	}
-	if *resume && *ckptDir == "" {
+	workerMode := *workers > 0 || *workerID != ""
+	switch {
+	case *resume && *ckptDir == "":
 		fmt.Fprintln(os.Stderr, "tcpsweep: -resume requires -checkpoint-dir")
+		return 2
+	case workerMode && *ckptDir == "":
+		fmt.Fprintln(os.Stderr, "tcpsweep: -workers/-worker-id require -checkpoint-dir (the shared directory is the coordination medium)")
+		return 2
+	case *gather && *ckptDir == "":
+		fmt.Fprintln(os.Stderr, "tcpsweep: -gather requires -checkpoint-dir")
+		return 2
+	case *gather && workerMode:
+		fmt.Fprintln(os.Stderr, "tcpsweep: -gather and -workers are mutually exclusive (gather assembles after the workers finish)")
 		return 2
 	}
 
@@ -69,14 +95,55 @@ func run() int {
 	if *bench != "" {
 		o.Benches = strings.Split(*bench, ",")
 	}
+
+	var claims *distrib.Store
 	if *ckptDir != "" {
+		benches := o.Benches
+		if len(benches) == 0 {
+			benches = workload.Names()
+		}
+		desc := experiment.GridDesc{Tool: "tcpsweep", Experiment: *sweep,
+			Instructions: *n, Warmup: *warm, Seed: *seed, Benches: benches, WarmFork: *warmFork}
+		// Consumers of existing manifests (resume, workers, gather) must
+		// match the recorded grid; a fresh recording run replaces it.
+		if err := experiment.EnsureGrid(*ckptDir, desc, !*resume && !workerMode && !*gather); err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsweep:", err)
+			var gm *experiment.GridMismatchError
+			if errors.As(err, &gm) {
+				return 2
+			}
+			return 1
+		}
+
 		o.Runner.SetCheckpointDir(*ckptDir)
-		store, err := experiment.NewResultStore(*ckptDir, *resume)
+		// Workers and gather always consult manifests: they are the
+		// publication medium of a distributed sweep.
+		store, err := experiment.NewResultStore(*ckptDir, *resume || workerMode || *gather)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tcpsweep:", err)
 			return 1
 		}
 		o.Runner.SetResultStore(store)
+
+		if workerMode {
+			id := *workerID
+			if id == "" {
+				host, _ := os.Hostname()
+				if host == "" {
+					host = "worker"
+				}
+				id = fmt.Sprintf("%s-%d", host, os.Getpid())
+			}
+			claims, err = distrib.NewStore(*ckptDir, id, *leaseTTL, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcpsweep:", err)
+				return 1
+			}
+			o.Runner.SetClaims(claims)
+		}
+		if *gather {
+			o.Runner.SetStrictGather(true)
+		}
 	}
 
 	report := telemetry.NewReport("tcpsweep")
@@ -93,30 +160,53 @@ func run() int {
 			Title: t.Title(), Headers: t.Headers(), Rows: t.Rows()})
 	}
 
-	switch *sweep {
-	case "size":
-		series(experiment.Fig13PHTSize(o)...)
-	case "nbits":
-		series(experiment.Fig13IndexBits(o))
-	case "k":
-		series(experiment.AblationTHTDepth(o))
-	case "assoc":
-		series(experiment.AblationPHTAssoc(o))
-	case "hash":
-		series(experiment.AblationHashing(o))
-	case "targets":
-		series(experiment.AblationMultiTarget(o))
-	case "baselines":
-		table(experiment.AblationClassicBaselines(o))
-	case "critfilter":
-		table(experiment.AblationCriticalFilter(o))
-	case "strideassist":
-		table(experiment.AblationStrideAssist(o))
-	case "placement":
-		table(experiment.AblationPlacement(o))
-	case "branchpred":
-		series(experiment.AblationBranchPredictors(o))
-	default:
+	unknown := false
+	runSweep := func() (err error) {
+		// A strict gather over an incomplete grid raises
+		// *experiment.IncompleteGridError through the runner; surface it
+		// as an ordinary error instead of a crash.
+		defer func() {
+			if p := recover(); p != nil {
+				if ige, ok := p.(*experiment.IncompleteGridError); ok {
+					err = ige
+					return
+				}
+				panic(p)
+			}
+		}()
+		switch *sweep {
+		case "size":
+			series(experiment.Fig13PHTSize(o)...)
+		case "nbits":
+			series(experiment.Fig13IndexBits(o))
+		case "k":
+			series(experiment.AblationTHTDepth(o))
+		case "assoc":
+			series(experiment.AblationPHTAssoc(o))
+		case "hash":
+			series(experiment.AblationHashing(o))
+		case "targets":
+			series(experiment.AblationMultiTarget(o))
+		case "baselines":
+			table(experiment.AblationClassicBaselines(o))
+		case "critfilter":
+			table(experiment.AblationCriticalFilter(o))
+		case "strideassist":
+			table(experiment.AblationStrideAssist(o))
+		case "placement":
+			table(experiment.AblationPlacement(o))
+		case "branchpred":
+			series(experiment.AblationBranchPredictors(o))
+		default:
+			unknown = true
+		}
+		return nil
+	}
+	if err := runSweep(); err != nil {
+		fmt.Fprintln(os.Stderr, "tcpsweep:", err)
+		return 1
+	}
+	if unknown {
 		fmt.Fprintf(os.Stderr, "tcpsweep: unknown sweep %q\n", *sweep)
 		return 2
 	}
@@ -128,6 +218,20 @@ func run() int {
 	if warmups, forks := o.Runner.WarmForkStats(); forks > 0 {
 		fmt.Fprintf(os.Stderr, "tcpsweep: warm fork: %d warmups simulated, %d grid points forked\n",
 			warmups, forks)
+	}
+	if hits := o.Runner.StoreStats(); hits > 0 {
+		fmt.Fprintf(os.Stderr, "tcpsweep: %d jobs answered from result manifests\n", hits)
+	}
+	if claims != nil {
+		st := claims.Stats()
+		fmt.Fprintf(os.Stderr, "tcpsweep: worker %s: %d claimed, %d conflicts, %d stolen (%d races), %d heartbeats, %d lost, %d waits\n",
+			claims.Worker(), st.Claims, st.ClaimConflicts, st.Steals, st.StealRaces,
+			st.Heartbeats, st.LeasesLost, st.WaitPolls)
+		report.Workers = append(report.Workers, telemetry.WorkerStats{
+			ID: claims.Worker(), Claims: st.Claims, ClaimConflicts: st.ClaimConflicts,
+			Steals: st.Steals, StealRaces: st.StealRaces, Heartbeats: st.Heartbeats,
+			LeasesLost: st.LeasesLost, Releases: st.Releases, WaitPolls: st.WaitPolls,
+			ManifestHits: o.Runner.StoreStats()})
 	}
 
 	if *jsonOut != "" {

@@ -23,6 +23,7 @@ import (
 	"hash/crc32"
 	"math"
 	"os"
+	"path/filepath"
 )
 
 const (
@@ -546,12 +547,82 @@ func (r *Reader) ReadInts(dst []int) {
 	}
 }
 
+// Validate checks that data is a complete, uncorrupted checkpoint image of
+// the current format Version without restoring anything: header, CRC
+// trailer, and a full walk of the section framing. It is the gate for
+// images of unknown provenance — e.g. warm images found on shared storage
+// that may have been written by a host running a different simulator
+// build — so a stale or foreign image is rejected (and re-simulated) before
+// any component sees it.
+func Validate(data []byte) error {
+	_, err := Sections(data)
+	return err
+}
+
+// SectionInfo describes one section of a checkpoint image: its name and
+// payload length in bytes. The sequence of SectionInfos is the image's
+// layout fingerprint — tests pin it against a golden file so a component
+// changing its encoding without bumping Version is caught.
+type SectionInfo struct {
+	Name string
+	Len  int
+}
+
+// Sections validates data like NewReader and walks the section framing,
+// returning every section's name and payload length in order.
+func Sections(data []byte) ([]SectionInfo, error) {
+	r, err := NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	var out []SectionInfo
+	pos := r.pos
+	for pos < len(r.data) {
+		if len(r.data)-pos < 2 {
+			return nil, fmt.Errorf("%w: truncated section header", ErrCorrupt)
+		}
+		n := int(binary.LittleEndian.Uint16(r.data[pos:]))
+		pos += 2
+		if len(r.data)-pos < n {
+			return nil, fmt.Errorf("%w: truncated section name (want %d bytes)", ErrCorrupt, n)
+		}
+		name := string(r.data[pos : pos+n])
+		pos += n
+		if len(r.data)-pos < 4 {
+			return nil, fmt.Errorf("%w: truncated section %q length", ErrCorrupt, name)
+		}
+		plen := int(binary.LittleEndian.Uint32(r.data[pos:]))
+		pos += 4
+		if len(r.data)-pos < plen {
+			return nil, fmt.Errorf("%w: section %q payload %d bytes, only %d remain",
+				ErrCorrupt, name, plen, len(r.data)-pos)
+		}
+		pos += plen
+		out = append(out, SectionInfo{Name: name, Len: plen})
+	}
+	return out, nil
+}
+
 // WriteFile atomically writes a checkpoint image to path: the bytes land
 // in a temporary file in the same directory first and are renamed into
 // place, so a crash mid-write never leaves a partial checkpoint behind.
+// The temporary name is unique per writer, so concurrent publishers of the
+// same image (several sweep workers warming the same benchmark over shared
+// storage) never interleave writes; the last rename wins with complete
+// content.
 func WriteFile(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {

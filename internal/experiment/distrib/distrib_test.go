@@ -1,0 +1,444 @@
+package distrib
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const testJob = "job-00000000deadbeef.json"
+
+func newTestStore(t *testing.T, dir, worker string, ttl time.Duration, clock Clock) *Store {
+	t.Helper()
+	s, err := NewStore(dir, worker, ttl, clock)
+	if err != nil {
+		t.Fatalf("NewStore(%q): %v", worker, err)
+	}
+	return s
+}
+
+// eventually polls cond with a generous deadline for the few tests that
+// must cross a real goroutine boundary (the heartbeat loop).
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestNewStoreRejectsBadArgs(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewStore(dir, "", time.Second, nil); err == nil {
+		t.Error("NewStore with empty worker id: want error")
+	}
+	if _, err := NewStore(dir, "w", 0, nil); err == nil {
+		t.Error("NewStore with zero ttl: want error")
+	}
+	if _, err := NewStore(dir, "w", -time.Second, nil); err == nil {
+		t.Error("NewStore with negative ttl: want error")
+	}
+}
+
+func TestTryClaimExclusive(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(1)
+	a := newTestStore(t, dir, "a", time.Second, clock)
+	b := newTestStore(t, dir, "b", time.Second, clock)
+
+	ca, got, err := a.TryClaim(testJob)
+	if err != nil || !got {
+		t.Fatalf("a.TryClaim = (_, %v, %v), want claim", got, err)
+	}
+	if _, got, err := b.TryClaim(testJob); err != nil || got {
+		t.Fatalf("b.TryClaim on held lease = (_, %v, %v), want conflict", got, err)
+	}
+	if st := b.Stats(); st.ClaimConflicts != 1 {
+		t.Errorf("b conflicts = %d, want 1", st.ClaimConflicts)
+	}
+
+	// The lease on disk is a complete, parseable record naming the holder.
+	data, err := os.ReadFile(filepath.Join(dir, testJob+".lease"))
+	if err != nil {
+		t.Fatalf("reading lease: %v", err)
+	}
+	l, err := ParseLease(data)
+	if err != nil {
+		t.Fatalf("ParseLease: %v", err)
+	}
+	if l.Worker != "a" || l.Job != testJob {
+		t.Errorf("lease = %+v, want worker a / job %s", l, testJob)
+	}
+
+	// Release removes the lease; the loser can now claim.
+	ca.Release()
+	if _, err := os.Stat(filepath.Join(dir, testJob+".lease")); !os.IsNotExist(err) {
+		t.Errorf("lease file still present after Release (err=%v)", err)
+	}
+	cb, got, err := b.TryClaim(testJob)
+	if err != nil || !got {
+		t.Fatalf("b.TryClaim after release = (_, %v, %v), want claim", got, err)
+	}
+	cb.Release()
+
+	if st := a.Stats(); st.Claims != 1 || st.Releases != 1 {
+		t.Errorf("a stats = %+v, want 1 claim 1 release", st)
+	}
+}
+
+func TestTryClaimLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore(t, dir, "a", time.Second, NewManualClock(1))
+	c, got, _ := s.TryClaim(testJob)
+	if !got {
+		t.Fatal("TryClaim failed")
+	}
+	if _, got, _ := s.TryClaim(testJob); got {
+		t.Fatal("second TryClaim succeeded on own lease")
+	}
+	c.Release()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), "tmp") || strings.Contains(e.Name(), "stale") {
+			t.Errorf("leftover scratch file %s", e.Name())
+		}
+	}
+}
+
+func TestHeartbeatRenewal(t *testing.T) {
+	// The heartbeat loop crosses a goroutine boundary, so this test runs on
+	// the system clock with a short TTL and polls the on-disk lease.
+	dir := t.TempDir()
+	s := newTestStore(t, dir, "a", 50*time.Millisecond, nil)
+	c, got, err := s.TryClaim(testJob)
+	if err != nil || !got {
+		t.Fatalf("TryClaim = (_, %v, %v)", got, err)
+	}
+	c.Start()
+	eventually(t, "heartbeat renewal", func() bool {
+		data, err := os.ReadFile(filepath.Join(dir, testJob+".lease"))
+		if err != nil {
+			return false
+		}
+		l, err := ParseLease(data)
+		return err == nil && l.Seq >= 2
+	})
+	c.Release()
+	if st := s.Stats(); st.Heartbeats < 2 {
+		t.Errorf("heartbeats = %d, want >= 2", st.Heartbeats)
+	}
+}
+
+func TestHeartbeatStopsWhenLeaseStolen(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore(t, dir, "a", 50*time.Millisecond, nil)
+	c, got, err := s.TryClaim(testJob)
+	if err != nil || !got {
+		t.Fatalf("TryClaim = (_, %v, %v)", got, err)
+	}
+	// A stealer replaced the lease with its own before the first renewal.
+	thief := Lease{Job: testJob, Worker: "thief", Heartbeat: 1, TTL: int64(time.Hour)}
+	data, _ := json.Marshal(thief)
+	if err := os.WriteFile(filepath.Join(dir, testJob+".lease"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	eventually(t, "lease-lost detection", func() bool {
+		return s.Stats().LeasesLost == 1
+	})
+	// The thief's lease must not have been overwritten by our renewer.
+	got2, err := os.ReadFile(filepath.Join(dir, testJob+".lease"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ParseLease(got2)
+	if err != nil || l.Worker != "thief" {
+		t.Errorf("lease after lost renewal = %+v (err=%v), want thief's", l, err)
+	}
+}
+
+func TestStealIfStale(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(1)
+	a := newTestStore(t, dir, "a", time.Second, clock)
+	b := newTestStore(t, dir, "b", time.Second, clock)
+
+	ca, got, _ := a.TryClaim(testJob)
+	if !got {
+		t.Fatal("a.TryClaim failed")
+	}
+	ca.Abandon() // crash: heartbeats stop, lease file stays
+
+	// Within the TTL the lease is honoured.
+	if b.StealIfStale(testJob) {
+		t.Error("StealIfStale stole a live lease")
+	}
+	clock.Advance(time.Second / 2)
+	if b.StealIfStale(testJob) {
+		t.Error("StealIfStale stole a half-expired lease")
+	}
+
+	// Past Heartbeat+TTL it is stale and exactly one stealer wins.
+	clock.Advance(time.Second)
+	if !b.StealIfStale(testJob) {
+		t.Fatal("StealIfStale did not steal an expired lease")
+	}
+	if st := b.Stats(); st.Steals != 1 {
+		t.Errorf("b steals = %d, want 1", st.Steals)
+	}
+	if _, err := os.Stat(filepath.Join(dir, testJob+".lease")); !os.IsNotExist(err) {
+		t.Errorf("lease file still present after steal (err=%v)", err)
+	}
+	// The thief can now claim.
+	cb, got, err := b.TryClaim(testJob)
+	if err != nil || !got {
+		t.Fatalf("b.TryClaim after steal = (_, %v, %v)", got, err)
+	}
+	cb.Release()
+}
+
+func TestStealMissingLease(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore(t, dir, "a", time.Second, NewManualClock(1))
+	// No lease at all: the holder released (or never existed) — retry now.
+	if !s.StealIfStale(testJob) {
+		t.Error("StealIfStale on missing lease = false, want true")
+	}
+	if st := s.Stats(); st.Steals != 0 {
+		t.Errorf("steals = %d, want 0 (nothing to steal)", st.Steals)
+	}
+}
+
+func TestStealHonoursHoldersLongerTTL(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(1)
+	holder := newTestStore(t, dir, "slow", time.Hour, clock)
+	thief := newTestStore(t, dir, "fast", time.Second, clock)
+	c, got, _ := holder.TryClaim(testJob)
+	if !got {
+		t.Fatal("TryClaim failed")
+	}
+	defer c.Release()
+	// The thief's own TTL is 1s, but the lease records the holder's 1h
+	// horizon and the thief must honour it.
+	clock.Advance(time.Minute)
+	if thief.StealIfStale(testJob) {
+		t.Error("thief stole a lease inside the holder's recorded TTL")
+	}
+}
+
+func TestStealCorruptLease(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(1)
+	s := newTestStore(t, dir, "a", time.Second, clock)
+	path := filepath.Join(dir, testJob+".lease")
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt lease is not stolen on sight (the writer may still be
+	// mid-publish on a filesystem without atomic visibility)…
+	if s.StealIfStale(testJob) {
+		t.Error("corrupt lease stolen on first sight")
+	}
+	// …but after a full TTL from first observation it is.
+	clock.Advance(2 * time.Second)
+	if !s.StealIfStale(testJob) {
+		t.Error("corrupt lease not stolen after a full TTL")
+	}
+	if st := s.Stats(); st.Steals != 1 {
+		t.Errorf("steals = %d, want 1", st.Steals)
+	}
+}
+
+func TestStealForeignLease(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(1)
+	s := newTestStore(t, dir, "a", time.Second, clock)
+	// A parseable record for a different job protects nothing here.
+	wrong := Lease{Job: "job-other.json", Worker: "b", Heartbeat: clock.Now(), TTL: int64(time.Hour)}
+	data, _ := json.Marshal(wrong)
+	if err := os.WriteFile(filepath.Join(dir, testJob+".lease"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s.StealIfStale(testJob) {
+		t.Error("foreign lease stolen on first sight")
+	}
+	clock.Advance(2 * time.Second)
+	if !s.StealIfStale(testJob) {
+		t.Error("foreign lease not stolen after a full TTL")
+	}
+}
+
+func TestStealRaceSingleWinner(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(1)
+	a := newTestStore(t, dir, "a", time.Second, clock)
+	holder := newTestStore(t, dir, "h", time.Second, clock)
+	c, got, _ := holder.TryClaim(testJob)
+	if !got {
+		t.Fatal("TryClaim failed")
+	}
+	c.Abandon()
+	clock.Advance(3 * time.Second)
+
+	// N concurrent stealers: every call reports "retry", exactly one
+	// records the steal, the rest record races (or observe the lease gone).
+	const stealers = 8
+	results := make(chan bool, stealers)
+	for i := 0; i < stealers; i++ {
+		go func() { results <- a.StealIfStale(testJob) }()
+	}
+	for i := 0; i < stealers; i++ {
+		if !<-results {
+			t.Error("a concurrent stealer was told not to retry")
+		}
+	}
+	if st := a.Stats(); st.Steals != 1 {
+		t.Errorf("steals = %d, want exactly 1 winner", st.Steals)
+	}
+}
+
+func TestAwaitRetryBacksOffOnLiveLease(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(1)
+	holder := newTestStore(t, dir, "h", time.Second, clock)
+	waiter := newTestStore(t, dir, "w", time.Second, clock)
+	c, got, _ := holder.TryClaim(testJob)
+	if !got {
+		t.Fatal("TryClaim failed")
+	}
+	defer c.Release()
+
+	done := make(chan struct{})
+	go func() {
+		waiter.AwaitRetry(testJob, 0)
+		close(done)
+	}()
+	// Drive the manual clock until the backoff sleep fires; each step also
+	// renews nothing, so the lease stays live and the sleep is the minimum
+	// poll interval (TTL/64).
+	eventually(t, "AwaitRetry to return", func() bool {
+		clock.Advance(time.Second / 64)
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	})
+	if st := waiter.Stats(); st.WaitPolls != 1 {
+		t.Errorf("wait polls = %d, want 1", st.WaitPolls)
+	}
+}
+
+func TestAwaitRetryReturnsImmediatelyAfterSteal(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(1)
+	holder := newTestStore(t, dir, "h", time.Second, clock)
+	waiter := newTestStore(t, dir, "w", time.Second, clock)
+	c, got, _ := holder.TryClaim(testJob)
+	if !got {
+		t.Fatal("TryClaim failed")
+	}
+	c.Abandon()
+	clock.Advance(3 * time.Second)
+	// The lease is stale: AwaitRetry steals it and returns without
+	// sleeping, so no Advance is needed for it to complete.
+	waiter.AwaitRetry(testJob, 5)
+	st := waiter.Stats()
+	if st.Steals != 1 || st.WaitPolls != 0 {
+		t.Errorf("stats = %+v, want 1 steal and 0 wait polls", st)
+	}
+}
+
+func TestParseLeaseErrors(t *testing.T) {
+	good := Lease{Job: testJob, Worker: "a", Heartbeat: 5, TTL: 100}
+	goodData, _ := json.Marshal(good)
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated", goodData[:len(goodData)/2]},
+		{"not json", []byte("::::")},
+		{"missing job", []byte(`{"worker":"a","ttl_ns":1}`)},
+		{"missing worker", []byte(`{"job":"j","ttl_ns":1}`)},
+		{"zero ttl", []byte(`{"job":"j","worker":"a","ttl_ns":0}`)},
+		{"negative ttl", []byte(`{"job":"j","worker":"a","ttl_ns":-5}`)},
+	}
+	for _, tc := range cases {
+		if _, err := ParseLease(tc.data); err == nil {
+			t.Errorf("ParseLease(%s): want error", tc.name)
+		}
+	}
+	l, err := ParseLease(goodData)
+	if err != nil || l != good {
+		t.Errorf("ParseLease(good) = %+v, %v", l, err)
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	c := NewManualClock(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", c.Now())
+	}
+	ch := c.After(10 * time.Nanosecond)
+	select {
+	case <-ch:
+		t.Fatal("waiter fired before Advance")
+	default:
+	}
+	c.Advance(9)
+	select {
+	case <-ch:
+		t.Fatal("waiter fired early")
+	default:
+	}
+	c.Advance(1)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("waiter did not fire at its deadline")
+	}
+	// Non-positive durations fire immediately.
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestFaults(t *testing.T) {
+	var nilFaults *Faults
+	nilFaults.Fire(AfterClaim, "job") // nil-safe no-op
+
+	f := &Faults{}
+	f.Fire(MidJob, "job") // unarmed no-op
+
+	f.SetFail(func(p Point, job string) bool { return p == MidJob && job == "j1" })
+	f.Fire(AfterClaim, "j1") // wrong point: no crash
+	f.Fire(MidJob, "j2")     // wrong job: no crash
+
+	defer func() {
+		p := recover()
+		c, ok := p.(*Crash)
+		if !ok {
+			t.Fatalf("recover = %v, want *Crash", p)
+		}
+		if c.Point != MidJob || c.Job != "j1" {
+			t.Errorf("crash = %+v, want MidJob/j1", c)
+		}
+	}()
+	f.Fire(MidJob, "j1")
+	t.Fatal("armed Fire did not panic")
+}

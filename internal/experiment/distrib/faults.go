@@ -1,0 +1,72 @@
+package distrib
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Point names a crash-injection site in the claim-execute-publish path.
+// The three points cover the distinct on-disk states a real crash can
+// leave behind; the fault-injection tests in internal/experiment drive one
+// in-process worker into each and assert the surviving workers still
+// gather a byte-identical grid.
+type Point string
+
+const (
+	// AfterClaim crashes once the lease file exists but before any
+	// heartbeat or simulation work: the lease is frozen at its initial
+	// heartbeat and must be stolen by another worker after one TTL.
+	AfterClaim Point = "after-claim"
+	// MidJob crashes after the simulation finished but before the result
+	// manifest was written: like AfterClaim the lease goes stale, and the
+	// completed (in-memory) result is lost with the worker.
+	MidJob Point = "mid-job"
+	// BeforeRename crashes inside the manifest publish, after the
+	// temporary file was written but before the atomic rename: a stray
+	// temp file is left behind and the manifest still does not exist.
+	BeforeRename Point = "before-manifest-rename"
+)
+
+// Crash is the panic value raised at an armed fault point. It simulates a
+// worker dying at that instant: the code path that recovers it must behave
+// as if the process had been killed — leases stay on disk un-heartbeaten,
+// partial temp files stay behind, and nothing is published.
+type Crash struct {
+	Point Point
+	Job   string
+}
+
+func (c *Crash) Error() string {
+	return fmt.Sprintf("distrib: injected crash at %s (job %s)", c.Point, c.Job)
+}
+
+// Faults is a crash-injection script shared by a worker's lease store and
+// result store. The zero value (and a nil *Faults) never fires. Tests arm
+// it with SetFail; production code never constructs one.
+type Faults struct {
+	mu   sync.Mutex
+	fail func(p Point, job string) bool
+}
+
+// SetFail installs the decision function. It is called at every fault
+// point with the point name and the job's manifest filename; returning
+// true crashes the worker there (exactly like a kill: no cleanup runs).
+func (f *Faults) SetFail(fn func(p Point, job string) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fail = fn
+}
+
+// Fire panics with *Crash if the script says this point should fail. Safe
+// on a nil receiver.
+func (f *Faults) Fire(p Point, job string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	fn := f.fail
+	f.mu.Unlock()
+	if fn != nil && fn(p, job) {
+		panic(&Crash{Point: p, Job: job})
+	}
+}

@@ -1,0 +1,51 @@
+package distrib
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseLease asserts the lease parser's contract against arbitrary
+// bytes — the exact input a reader can see when it races a writer on a
+// filesystem without atomic rename visibility, or after a torn write:
+// ParseLease returns a fully-validated lease or an error, never panics,
+// and never returns a structurally unusable record.
+func FuzzParseLease(f *testing.F) {
+	good, _ := json.Marshal(Lease{Job: "job-0123.json", Worker: "w1", Heartbeat: 42, TTL: 1_000_000, Seq: 3})
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"job":"j"}`))
+	f.Add([]byte(`{"job":"j","worker":"w","ttl_ns":0}`))
+	f.Add([]byte(`{"job":"j","worker":"w","ttl_ns":-1}`))
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("\x00\xff\xfe"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ParseLease(data)
+		if err != nil {
+			if l != (Lease{}) {
+				t.Fatalf("error %v returned alongside non-zero lease %+v", err, l)
+			}
+			return
+		}
+		if l.Job == "" || l.Worker == "" {
+			t.Fatalf("accepted lease with missing identity: %+v", l)
+		}
+		if l.TTL <= 0 {
+			t.Fatalf("accepted lease with non-positive ttl: %+v", l)
+		}
+		// An accepted lease must survive a marshal/parse round trip: the
+		// renewer re-writes exactly these fields.
+		data2, err := json.Marshal(l)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		l2, err := ParseLease(data2)
+		if err != nil || l2 != l {
+			t.Fatalf("round trip = %+v, %v; want %+v", l2, err, l)
+		}
+	})
+}

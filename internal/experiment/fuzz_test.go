@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tagprefetch/internal/sim"
+)
+
+// FuzzParseManifest asserts the result-manifest parser's contract against
+// arbitrary bytes — truncated files from torn writes, a concurrent writer's
+// half-visible rename, or plain corruption: parseManifest returns a
+// validated record or an error, never panics, and never yields a result
+// with no job identity attached.
+func FuzzParseManifest(f *testing.F) {
+	good, _ := json.MarshalIndent(storedResult{
+		Bench: "swim", Factory: "tcp-8K", Baseline: false,
+		Result: sim.Result{},
+	}, "", "  ")
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Bench":"swim"}`))
+	f.Add([]byte(`{"Factory":"tcp-8K"}`))
+	f.Add([]byte(`{"Bench":"","Factory":""}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[{}]`))
+	f.Add([]byte("\xff\x00garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := parseManifest(data)
+		if err != nil {
+			if sr != (storedResult{}) {
+				t.Fatalf("error %v returned alongside non-zero result %+v", err, sr)
+			}
+			return
+		}
+		if sr.Bench == "" || sr.Factory == "" {
+			t.Fatalf("accepted manifest with missing identity: %+v", sr)
+		}
+	})
+}

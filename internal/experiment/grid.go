@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+)
+
+// gridManifestName is the per-directory record of which grid the result
+// manifests in a checkpoint directory belong to.
+const gridManifestName = "grid.json"
+
+// GridDesc identifies one experiment grid: the command, experiment id, and
+// every flag that shapes the job set. It is recorded as grid.json in the
+// checkpoint directory when a sweep first writes manifests there, and
+// verified on -resume, worker, and -gather runs — so results recorded for
+// one grid can never be silently mixed into the output of a different one
+// (changed flags, a different benchmark list, another sweep id).
+type GridDesc struct {
+	Tool         string   `json:"tool"`
+	Experiment   string   `json:"experiment"`
+	Instructions uint64   `json:"instructions"`
+	Warmup       uint64   `json:"warmup"`
+	Seed         uint64   `json:"seed"`
+	Benches      []string `json:"benches"`
+	WarmFork     bool     `json:"warm_fork"`
+}
+
+// GridMismatchError is the typed error returned when a checkpoint
+// directory's recorded grid differs from the requested one.
+type GridMismatchError struct {
+	Dir   string
+	Field string
+	Have  string // what grid.json records
+	Want  string // what the current invocation requested
+}
+
+func (e *GridMismatchError) Error() string {
+	return fmt.Sprintf("experiment: checkpoint dir %s holds results for a different grid (%s: recorded %q, requested %q); use matching flags or a fresh directory",
+		e.Dir, e.Field, e.Have, e.Want)
+}
+
+// EnsureGrid reconciles the checkpoint directory's grid record with the
+// current invocation. With replace set (a fresh recording run) it
+// atomically (re)writes grid.json and returns nil. Otherwise — resume,
+// worker, and gather runs, which consume existing manifests — it creates
+// the record exclusively if absent (first worker wins; losers of the
+// creation race fall through to verification) and returns a
+// *GridMismatchError on the first differing field when a record exists.
+func EnsureGrid(dir string, d GridDesc, replace bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, gridManifestName)
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	f, err := os.CreateTemp(dir, gridManifestName+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp)
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if replace {
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		return nil
+	}
+	err = os.Link(tmp, path)
+	os.Remove(tmp)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, fs.ErrExist) {
+		return err
+	}
+	existing, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var have GridDesc
+	if err := json.Unmarshal(existing, &have); err != nil {
+		return fmt.Errorf("experiment: corrupt grid manifest %s: %w", path, err)
+	}
+	return compareGrids(dir, have, d)
+}
+
+func compareGrids(dir string, have, want GridDesc) error {
+	mismatch := func(field, h, w string) error {
+		return &GridMismatchError{Dir: dir, Field: field, Have: h, Want: w}
+	}
+	if have.Tool != want.Tool {
+		return mismatch("tool", have.Tool, want.Tool)
+	}
+	if have.Experiment != want.Experiment {
+		return mismatch("experiment", have.Experiment, want.Experiment)
+	}
+	if have.Instructions != want.Instructions {
+		return mismatch("instructions", fmt.Sprint(have.Instructions), fmt.Sprint(want.Instructions))
+	}
+	if have.Warmup != want.Warmup {
+		return mismatch("warmup", fmt.Sprint(have.Warmup), fmt.Sprint(want.Warmup))
+	}
+	if have.Seed != want.Seed {
+		return mismatch("seed", fmt.Sprint(have.Seed), fmt.Sprint(want.Seed))
+	}
+	if !slices.Equal(have.Benches, want.Benches) {
+		return mismatch("benches", strings.Join(have.Benches, ","), strings.Join(want.Benches, ","))
+	}
+	if have.WarmFork != want.WarmFork {
+		return mismatch("warm_fork", fmt.Sprint(have.WarmFork), fmt.Sprint(want.WarmFork))
+	}
+	return nil
+}

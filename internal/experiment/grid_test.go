@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testGrid() GridDesc {
+	return GridDesc{Tool: "tcpsweep", Experiment: "nbits",
+		Instructions: 8_000, Warmup: 16_000, Seed: 1,
+		Benches: []string{"swim", "mcf"}}
+}
+
+func TestEnsureGridRecordAndVerify(t *testing.T) {
+	dir := t.TempDir()
+	d := testGrid()
+	if err := EnsureGrid(dir, d, true); err != nil {
+		t.Fatalf("recording: %v", err)
+	}
+	// The same grid verifies from any consumer.
+	if err := EnsureGrid(dir, d, false); err != nil {
+		t.Fatalf("verify same grid: %v", err)
+	}
+	// A recording run may replace the record wholesale.
+	d2 := d
+	d2.Seed = 7
+	if err := EnsureGrid(dir, d2, true); err != nil {
+		t.Fatalf("re-record: %v", err)
+	}
+	if err := EnsureGrid(dir, d2, false); err != nil {
+		t.Fatalf("verify re-recorded grid: %v", err)
+	}
+}
+
+func TestEnsureGridFirstConsumerCreates(t *testing.T) {
+	// The first worker into an empty directory records the grid; later
+	// workers verify against it.
+	dir := t.TempDir()
+	d := testGrid()
+	if err := EnsureGrid(dir, d, false); err != nil {
+		t.Fatalf("first consumer: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "grid.json")); err != nil {
+		t.Fatalf("grid.json not created: %v", err)
+	}
+	if err := EnsureGrid(dir, d, false); err != nil {
+		t.Fatalf("second consumer: %v", err)
+	}
+}
+
+// TestEnsureGridMismatch is the -resume regression test: resuming (or
+// joining, or gathering) a checkpoint directory with different flags must
+// return the typed *GridMismatchError naming the first differing field —
+// never silently mix the stale manifests into the new grid's output.
+func TestEnsureGridMismatch(t *testing.T) {
+	base := testGrid()
+	mutations := []struct {
+		field string
+		mut   func(*GridDesc)
+	}{
+		{"tool", func(d *GridDesc) { d.Tool = "tcpfigs" }},
+		{"experiment", func(d *GridDesc) { d.Experiment = "size" }},
+		{"instructions", func(d *GridDesc) { d.Instructions = 9_000 }},
+		{"warmup", func(d *GridDesc) { d.Warmup = 0 }},
+		{"seed", func(d *GridDesc) { d.Seed = 2 }},
+		{"benches", func(d *GridDesc) { d.Benches = []string{"swim"} }},
+		{"benches", func(d *GridDesc) { d.Benches = []string{"mcf", "swim"} }},
+		{"warm_fork", func(d *GridDesc) { d.WarmFork = true }},
+	}
+	for _, m := range mutations {
+		dir := t.TempDir()
+		if err := EnsureGrid(dir, base, true); err != nil {
+			t.Fatal(err)
+		}
+		want := base
+		m.mut(&want)
+		err := EnsureGrid(dir, want, false)
+		var gm *GridMismatchError
+		if !errors.As(err, &gm) {
+			t.Errorf("%s mutation: err = %v, want *GridMismatchError", m.field, err)
+			continue
+		}
+		if gm.Field != m.field {
+			t.Errorf("mismatch field = %q, want %q", gm.Field, m.field)
+		}
+		if !strings.Contains(gm.Error(), "different grid") {
+			t.Errorf("error text %q does not explain the mismatch", gm.Error())
+		}
+	}
+}
+
+func TestEnsureGridCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "grid.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsureGrid(dir, testGrid(), false); err == nil {
+		t.Error("corrupt grid.json verified cleanly, want error")
+	}
+}
+
+// TestEnsureGridConcurrentWorkers: N workers race to create the record in
+// an empty directory; all must succeed (same grid), and the record must be
+// complete afterwards.
+func TestEnsureGridConcurrentWorkers(t *testing.T) {
+	dir := t.TempDir()
+	d := testGrid()
+	const workers = 8
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = EnsureGrid(dir, d, false)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+	if err := EnsureGrid(dir, d, false); err != nil {
+		t.Errorf("post-race verify: %v", err)
+	}
+	// A different grid must still be rejected after the race settled.
+	d.Seed = 99
+	var gm *GridMismatchError
+	if err := EnsureGrid(dir, d, false); !errors.As(err, &gm) {
+		t.Errorf("changed grid after race: err = %v, want *GridMismatchError", err)
+	}
+}
+
+func TestEnsureGridLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := EnsureGrid(dir, testGrid(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsureGrid(dir, testGrid(), false); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "grid.json" {
+			t.Errorf("unexpected file %s", e.Name())
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"tagprefetch/internal/cpu"
+	"tagprefetch/internal/experiment/distrib"
 	"tagprefetch/internal/memsys"
 	"tagprefetch/internal/sim"
 )
@@ -72,10 +73,17 @@ type Runner struct {
 	warmMu        sync.Mutex
 	warm          map[warmKey]*warmEntry
 
+	// distributed-sweep state: the lease store for claiming jobs against
+	// other workers sharing the checkpoint directory, and the strict
+	// gather mode that forbids simulation (see distributed.go).
+	claims *distrib.Store
+	strict bool
+
 	baselineRuns   atomic.Uint64
 	baselineReuses atomic.Uint64
 	warmWarmups    atomic.Uint64
 	warmForks      atomic.Uint64
+	storeHits      atomic.Uint64
 }
 
 // NewRunner creates a pool of the given width; jobs <= 0 uses all
@@ -188,8 +196,13 @@ func (r *Runner) Map(jobs []Job) []sim.Result {
 func (r *Runner) run(j Job) sim.Result {
 	if !j.Baseline {
 		if res, ok := r.store.Lookup(j.Bench, j.Factory.Name, false, j.Config); ok {
+			r.storeHits.Add(1)
 			return res
 		}
+		if r.claims != nil {
+			return r.runDistributed(j.Bench, j.Factory, false, j.Config)
+		}
+		r.requireComplete(j.Bench, j.Factory.Name, false, j.Config)
 		res := r.simulate(j.Bench, j.Factory, j.Config)
 		r.store.Save(j.Bench, j.Factory.Name, false, j.Config, res)
 		return res
@@ -200,6 +213,7 @@ func (r *Runner) run(j Job) sim.Result {
 		return r.simulate(j.Bench, base, j.Config)
 	}
 	if res, ok := r.store.Lookup(j.Bench, base.Name, true, j.Config); ok {
+		r.storeHits.Add(1)
 		return res
 	}
 	r.mu.Lock()
@@ -212,8 +226,15 @@ func (r *Runner) run(j Job) sim.Result {
 	}
 	r.mu.Unlock()
 	// once.Do coalesces duplicate in-flight submissions onto one run;
-	// latecomers block until the result is ready.
+	// latecomers block until the result is ready. In distributed mode the
+	// coalescer still collapses this worker's duplicate submissions, and
+	// the claim protocol arbitrates across workers.
 	e.once.Do(func() {
+		if r.claims != nil {
+			e.res = r.runDistributed(j.Bench, base, true, j.Config)
+			return
+		}
+		r.requireComplete(j.Bench, base.Name, true, j.Config)
 		r.baselineRuns.Add(1)
 		e.res = r.simulate(j.Bench, base, j.Config)
 		r.store.Save(j.Bench, base.Name, true, j.Config, e.res)

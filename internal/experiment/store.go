@@ -2,24 +2,31 @@ package experiment
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
 	"path/filepath"
 
+	"tagprefetch/internal/experiment/distrib"
 	"tagprefetch/internal/sim"
 )
 
 // ResultStore persists completed per-job results as one JSON manifest per
-// job under a directory, written atomically (temp file + rename), so a sweep
-// killed mid-grid can be resumed: re-running with resume enabled answers
-// already-completed jobs from disk and simulates only the remainder.
-// sim.Result round-trips JSON exactly (integer counters and shortest-repr
-// floats), so a resumed sweep's tables are byte-identical to an
-// uninterrupted run's.
+// job under a directory, written atomically (unique temp file + rename), so
+// a sweep killed mid-grid can be resumed: re-running with resume enabled
+// answers already-completed jobs from disk and simulates only the
+// remainder. sim.Result round-trips JSON exactly (integer counters and
+// shortest-repr floats), so a resumed sweep's tables are byte-identical to
+// an uninterrupted run's. The same manifests are the publication medium for
+// distributed sweeps (docs/DISTRIBUTED.md): because the temp names are
+// unique per writer and the rename is atomic, any number of workers may
+// publish the same job concurrently and the manifest is always one
+// writer's complete bytes.
 type ResultStore struct {
 	dir    string
 	resume bool
+	faults *distrib.Faults
 }
 
 // NewResultStore opens (creating if needed) a manifest directory. When
@@ -32,6 +39,11 @@ func NewResultStore(dir string, resume bool) (*ResultStore, error) {
 	return &ResultStore{dir: dir, resume: resume}, nil
 }
 
+// SetFaults installs a crash-injection script (tests only): the
+// distrib.BeforeRename point fires between the manifest's temp-file write
+// and its atomic rename.
+func (s *ResultStore) SetFaults(f *distrib.Faults) { s.faults = f }
+
 // storedResult is the manifest schema. Bench/Factory/Baseline echo the job
 // identity so a filename hash collision is detected instead of trusted.
 type storedResult struct {
@@ -39,6 +51,20 @@ type storedResult struct {
 	Factory  string
 	Baseline bool
 	Result   sim.Result
+}
+
+// parseManifest decodes and validates one manifest. Truncated, corrupt or
+// identity-less bytes error — the caller treats any error as "job not
+// done", never as a partial result.
+func parseManifest(data []byte) (storedResult, error) {
+	var sr storedResult
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return storedResult{}, fmt.Errorf("experiment: corrupt manifest: %w", err)
+	}
+	if sr.Bench == "" || sr.Factory == "" {
+		return storedResult{}, errors.New("experiment: corrupt manifest: missing job identity")
+	}
+	return sr, nil
 }
 
 // jobFile names a job's manifest by hashing its canonical normalized
@@ -71,8 +97,8 @@ func (s *ResultStore) Lookup(bench, factory string, baseline bool, c sim.Config)
 	if err != nil {
 		return sim.Result{}, false
 	}
-	var sr storedResult
-	if err := json.Unmarshal(data, &sr); err != nil {
+	sr, err := parseManifest(data)
+	if err != nil {
 		return sim.Result{}, false
 	}
 	if sr.Bench != bench || sr.Factory != factory || sr.Baseline != baseline {
@@ -98,10 +124,18 @@ func (s *ResultStore) Save(bench, factory string, baseline bool, c sim.Config, r
 		return
 	}
 	path := filepath.Join(s.dir, name)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.CreateTemp(s.dir, name+".tmp-*")
+	if err != nil {
 		return
 	}
+	tmp := f.Name()
+	_, werr := f.Write(append(data, '\n'))
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp)
+		return
+	}
+	s.faults.Fire(distrib.BeforeRename, name)
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 	}

@@ -117,8 +117,14 @@ func (r *Runner) warmImage(key warmKey, bench string, cfg sim.Config) ([]byte, e
 		if r.checkpointDir != "" {
 			path = filepath.Join(r.checkpointDir, warmFileName(key))
 			if data, err := checkpoint.ReadFile(path); err == nil {
-				e.image = data
-				return
+				// Images on shared storage may come from another host
+				// running a different simulator build: validate the
+				// format version and CRC before trusting one. A stale or
+				// foreign image is ignored, re-warmed, and overwritten.
+				if checkpoint.Validate(data) == nil {
+					e.image = data
+					return
+				}
 			}
 		}
 		spec, err := workload.Spec2000(bench)

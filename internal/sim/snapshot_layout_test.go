@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"tagprefetch/internal/checkpoint"
+	"tagprefetch/internal/telemetry"
+)
+
+var updateLayout = flag.Bool("update", false, "rewrite testdata/snapshot_layout.golden from the current encoders")
+
+// layoutConfigs spans every Snapshotter family the simulator can put into a
+// checkpoint: the baseline, each prefetcher organisation (their sections
+// differ), the hybrid with its dead-block predictor, the critical-filter
+// wrapper, and a telemetry sampler.
+func layoutConfigs() []struct {
+	label string
+	f     Factory
+	cfg   Config
+} {
+	base := Config{Instructions: 1_000, Warmup: 2_000, Seed: 1}
+	withSampler := base
+	withSampler.Telemetry = telemetry.NewRun(500)
+	return []struct {
+		label string
+		f     Factory
+		cfg   Config
+	}{
+		{"none", NoPrefetch(), base},
+		{"tcp-8K", TCP8K(), base},
+		{"tcp-8M", TCP8M(), base},
+		{"hybrid-8K", Hybrid8K(), base},
+		{"dbcp-2M", DBCP2M(), base},
+		{"stride", Stride(), base},
+		{"stream", StreamBuffers(), base},
+		{"markov", Markov(), base},
+		{"ghb-pc/dc", GHB(), base},
+		{"nextline", NextLine(), base},
+		{"tcp-8K+cf", WithCriticalFilter(TCP8K()), base},
+		{"none+sampler", NoPrefetch(), withSampler},
+	}
+}
+
+// layoutFingerprint renders the section layout of every configuration's
+// checkpoint image, taken from a fresh machine so the payload lengths are a
+// pure function of the encoders and the configuration.
+func layoutFingerprint(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "checkpoint format version %d\n", checkpoint.Version)
+	for _, lc := range layoutConfigs() {
+		m := mustMachine(t, "swim", lc.f, lc.cfg)
+		img, err := m.Checkpoint()
+		if err != nil {
+			t.Fatalf("%s: checkpoint: %v", lc.label, err)
+		}
+		secs, err := checkpoint.Sections(img)
+		if err != nil {
+			t.Fatalf("%s: sections: %v", lc.label, err)
+		}
+		fmt.Fprintf(&b, "\n%s:\n", lc.label)
+		for _, s := range secs {
+			fmt.Fprintf(&b, "  %-24s %d\n", s.Name, s.Len)
+		}
+	}
+	return b.String()
+}
+
+// TestSnapshotLayoutGolden pins every Snapshotter's section layout — names,
+// order, and fresh-state payload lengths — against a golden file. It fails
+// when any component changes its checkpoint encoding while
+// checkpoint.Version stays the same: such a change makes old warm images on
+// shared checkpoint directories unreadable (or worse, silently
+// reinterpreted) by new builds. Content-dependent encodings are covered by
+// the save/restore round-trip tests; this test is only about the layout.
+func TestSnapshotLayoutGolden(t *testing.T) {
+	const golden = "testdata/snapshot_layout.golden"
+	got := layoutFingerprint(t)
+	if *updateLayout {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s: %v (regenerate with go test ./internal/sim -run TestSnapshotLayoutGolden -update)", golden, err)
+	}
+	if got != string(want) {
+		t.Errorf("checkpoint section layout drifted from %s.\n"+
+			"If the encoding change is intentional, bump checkpoint.Version so old images are rejected\n"+
+			"instead of misread, then regenerate: go test ./internal/sim -run TestSnapshotLayoutGolden -update\n"+
+			"got:\n%s\nwant:\n%s", golden, got, want)
+	}
+}

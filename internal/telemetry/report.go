@@ -92,6 +92,24 @@ type TableData struct {
 	Rows    [][]string `json:"rows"`
 }
 
+// WorkerStats reports one distributed-sweep worker's claim-protocol
+// counters (tcpsweep/tcpfigs worker mode over a shared checkpoint
+// directory; see docs/DISTRIBUTED.md). Serial and gather runs have no
+// workers, so the section is absent from their reports and the gathered
+// JSON stays byte-identical to a serial run's.
+type WorkerStats struct {
+	ID             string `json:"id"`
+	Claims         uint64 `json:"claims"`
+	ClaimConflicts uint64 `json:"claim_conflicts,omitempty"`
+	Steals         uint64 `json:"steals,omitempty"`
+	StealRaces     uint64 `json:"steal_races,omitempty"`
+	Heartbeats     uint64 `json:"heartbeats,omitempty"`
+	LeasesLost     uint64 `json:"leases_lost,omitempty"`
+	Releases       uint64 `json:"releases,omitempty"`
+	WaitPolls      uint64 `json:"wait_polls,omitempty"`
+	ManifestHits   uint64 `json:"manifest_hits,omitempty"`
+}
+
 // Report is the top-level machine-readable output of a cmd/ binary: one or
 // more run reports and/or sweep curves and tables.
 type Report struct {
@@ -99,9 +117,10 @@ type Report struct {
 	// Tool names the producing binary ("tcpsim", "tcpsweep").
 	Tool string `json:"tool,omitempty"`
 
-	Runs   []RunReport   `json:"runs,omitempty"`
-	Sweeps []SweepSeries `json:"sweeps,omitempty"`
-	Tables []TableData   `json:"tables,omitempty"`
+	Runs    []RunReport   `json:"runs,omitempty"`
+	Sweeps  []SweepSeries `json:"sweeps,omitempty"`
+	Tables  []TableData   `json:"tables,omitempty"`
+	Workers []WorkerStats `json:"workers,omitempty"`
 
 	// GeomeanClamped counts non-positive inputs clamped while computing
 	// speedup geomeans during this process (see stats.Geomean): non-zero
