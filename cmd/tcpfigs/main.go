@@ -17,6 +17,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"strings"
@@ -24,6 +25,7 @@ import (
 
 	"tagprefetch/internal/experiment"
 	"tagprefetch/internal/experiment/distrib"
+	"tagprefetch/internal/fleetobs"
 	"tagprefetch/internal/profiler"
 	"tagprefetch/internal/profiling"
 	"tagprefetch/internal/sim"
@@ -58,6 +60,9 @@ func run() int {
 		workerID = flag.String("worker-id", "", "unique id for this worker in a distributed run (default hostname-pid; implies -workers)")
 		leaseTTL = flag.Duration("lease-ttl", 30*time.Second, "heartbeat staleness horizon before a crashed worker's job leases may be stolen")
 		gather   = flag.Bool("gather", false, "assemble a completed distributed run from -checkpoint-dir manifests without simulating; errors if any job is missing")
+
+		statusAddr = flag.String("status-addr", "", "serve live fleet status over -checkpoint-dir on this address (/status JSON, /events SSE, /metrics Prometheus) while experiments run")
+		flight     = flag.Bool("flight", true, "record claim-protocol events to per-job flight logs in -checkpoint-dir (worker mode; replay with tcpstatus -timeline)")
 	)
 	flag.Parse()
 
@@ -93,6 +98,9 @@ func run() int {
 		return 2
 	case *gather && workerMode:
 		fmt.Fprintln(os.Stderr, "tcpfigs: -gather and -workers are mutually exclusive (gather assembles after the workers finish)")
+		return 2
+	case *statusAddr != "" && *ckptDir == "":
+		fmt.Fprintln(os.Stderr, "tcpfigs: -status-addr requires -checkpoint-dir (status is read from the shared directory)")
 		return 2
 	}
 
@@ -141,10 +149,26 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "tcpfigs:", err)
 				return 1
 			}
+			if *flight {
+				rec := distrib.NewRecorder(*ckptDir, id, nil, 0)
+				claims.SetRecorder(rec)
+				store.SetRecorder(rec)
+			}
 			o.Runner.SetClaims(claims)
 		}
 		if *gather {
 			o.Runner.SetStrictGather(true)
+		}
+		if *statusAddr != "" {
+			srv := fleetobs.NewServer(*ckptDir, nil, 0)
+			ln, err := net.Listen("tcp", *statusAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcpfigs:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "tcpfigs: fleet status on http://%s\n", ln.Addr())
+			go srv.Serve(ln) //nolint:errcheck // listener failure only loses the status view
+			defer srv.Close()
 		}
 	}
 
@@ -245,6 +269,11 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "tcpfigs:", err)
 			var ige *experiment.IncompleteGridError
 			if errors.As(err, &ige) {
+				// List every discovered hole and its last-known holder so
+				// the operator knows which worker to restart.
+				if herr := fleetobs.WriteHoles(os.Stderr, *ckptDir); herr != nil {
+					fmt.Fprintln(os.Stderr, "tcpfigs:", herr)
+				}
 				return 1
 			}
 			return 2

@@ -17,6 +17,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -85,6 +87,7 @@ func run() int {
 		traceLevel = flag.String("trace-level", "info", "minimum event level: debug|info")
 		traceMax   = flag.Uint64("trace-max", 1<<20, "cap on traced events (0 = unlimited)")
 		progress   = flag.Uint64("progress", 0, "print a heartbeat to stderr every N million instructions")
+		statusAddr = flag.String("status-addr", "", "serve the running benchmarks' live metric registries as Prometheus text on this address (/metrics)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file")
 
@@ -155,7 +158,7 @@ func run() int {
 
 	// Telemetry is armed only when a consumer asked for it; otherwise every
 	// event goes through the zero-cost no-op tracer and no sampling occurs.
-	telemetryOn := *jsonOut != "" || *traceOut != "" || *progress > 0
+	telemetryOn := *jsonOut != "" || *traceOut != "" || *progress > 0 || *statusAddr != ""
 	tracer := telemetry.Nop()
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
@@ -202,6 +205,33 @@ func run() int {
 			}
 		}
 		simJobs[i] = experiment.Job{Bench: b, Factory: f, Config: runCfg}
+	}
+
+	// A scrape snapshots every run's live registry; between scrapes the
+	// simulation pays nothing (PromHandler collects per request only).
+	if *statusAddr != "" {
+		ln, err := net.Listen("tcp", *statusAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcpsim:", err)
+			return 1
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.PromHandler(func() []telemetry.PromSet {
+			sets := make([]telemetry.PromSet, 0, len(teleRuns))
+			for i, tr := range teleRuns {
+				if tr == nil {
+					continue
+				}
+				sets = append(sets, telemetry.PromFromRegistry(tr.Registry,
+					telemetry.PromLabel{Name: "bench", Value: benches[i]},
+					telemetry.PromLabel{Name: "prefetcher", Value: f.Name}))
+			}
+			return sets
+		}))
+		fmt.Fprintf(os.Stderr, "tcpsim: metrics on http://%s/metrics\n", ln.Addr())
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln) //nolint:errcheck // listener failure only loses the metrics view
+		defer srv.Close()
 	}
 
 	var results []sim.Result

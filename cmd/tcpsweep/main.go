@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"strings"
@@ -28,6 +29,7 @@ import (
 
 	"tagprefetch/internal/experiment"
 	"tagprefetch/internal/experiment/distrib"
+	"tagprefetch/internal/fleetobs"
 	"tagprefetch/internal/profiling"
 	"tagprefetch/internal/sim"
 	"tagprefetch/internal/stats"
@@ -60,6 +62,9 @@ func run() int {
 		workerID = flag.String("worker-id", "", "unique id for this worker in a distributed sweep (default hostname-pid; implies -workers)")
 		leaseTTL = flag.Duration("lease-ttl", 30*time.Second, "heartbeat staleness horizon before a crashed worker's job leases may be stolen")
 		gather   = flag.Bool("gather", false, "assemble a completed distributed sweep from -checkpoint-dir manifests without simulating; errors if any job is missing")
+
+		statusAddr = flag.String("status-addr", "", "serve live fleet status over -checkpoint-dir on this address (/status JSON, /events SSE, /metrics Prometheus) while the sweep runs")
+		flight     = flag.Bool("flight", true, "record claim-protocol events to per-job flight logs in -checkpoint-dir (worker mode; replay with tcpstatus -timeline)")
 	)
 	flag.Parse()
 
@@ -87,6 +92,9 @@ func run() int {
 		return 2
 	case *gather && workerMode:
 		fmt.Fprintln(os.Stderr, "tcpsweep: -gather and -workers are mutually exclusive (gather assembles after the workers finish)")
+		return 2
+	case *statusAddr != "" && *ckptDir == "":
+		fmt.Fprintln(os.Stderr, "tcpsweep: -status-addr requires -checkpoint-dir (status is read from the shared directory)")
 		return 2
 	}
 
@@ -139,10 +147,26 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "tcpsweep:", err)
 				return 1
 			}
+			if *flight {
+				rec := distrib.NewRecorder(*ckptDir, id, nil, 0)
+				claims.SetRecorder(rec)
+				store.SetRecorder(rec)
+			}
 			o.Runner.SetClaims(claims)
 		}
 		if *gather {
 			o.Runner.SetStrictGather(true)
+		}
+		if *statusAddr != "" {
+			srv := fleetobs.NewServer(*ckptDir, nil, 0)
+			ln, err := net.Listen("tcp", *statusAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcpsweep:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "tcpsweep: fleet status on http://%s\n", ln.Addr())
+			go srv.Serve(ln) //nolint:errcheck // listener failure only loses the status view
+			defer srv.Close()
 		}
 	}
 
@@ -204,6 +228,14 @@ func run() int {
 	}
 	if err := runSweep(); err != nil {
 		fmt.Fprintln(os.Stderr, "tcpsweep:", err)
+		var ige *experiment.IncompleteGridError
+		if errors.As(err, &ige) {
+			// List every discovered hole and its last-known holder so the
+			// operator knows which worker to restart.
+			if herr := fleetobs.WriteHoles(os.Stderr, *ckptDir); herr != nil {
+				fmt.Fprintln(os.Stderr, "tcpsweep:", herr)
+			}
+		}
 		return 1
 	}
 	if unknown {

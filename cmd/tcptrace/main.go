@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 
 	"tagprefetch/internal/addr"
@@ -19,6 +21,7 @@ import (
 	"tagprefetch/internal/profiler"
 	"tagprefetch/internal/profiling"
 	"tagprefetch/internal/stats"
+	"tagprefetch/internal/telemetry"
 	"tagprefetch/internal/trace"
 	"tagprefetch/internal/workload"
 )
@@ -59,18 +62,24 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		bench  = flag.String("bench", "", "SPEC2000 benchmark to trace")
-		n      = flag.Uint64("n", 1_000_000, "measured instructions")
-		warm   = flag.Uint64("warmup", 2_000_000, "warmup instructions")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-		out    = flag.String("o", "", "dump the raw miss trace to this file")
-		in     = flag.String("i", "", "analyse an existing trace file instead of simulating")
+		bench = flag.String("bench", "", "SPEC2000 benchmark to trace")
+		n     = flag.Uint64("n", 1_000_000, "measured instructions")
+		warm  = flag.Uint64("warmup", 2_000_000, "warmup instructions")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		out   = flag.String("o", "", "dump the raw miss trace to this file")
+		in    = flag.String("i", "", "analyse an existing trace file instead of simulating")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file")
-		seqLen = flag.Int("k", 3, "tag-sequence length (paper: 3)")
+		statusAddr = flag.String("status-addr", "", "serve the live memory-hierarchy metric registry as Prometheus text on this address (/metrics) while tracing")
+		seqLen     = flag.Int("k", 3, "tag-sequence length (paper: 3)")
 	)
 	flag.Parse()
+
+	if *statusAddr != "" && *bench == "" {
+		fmt.Fprintln(os.Stderr, "tcptrace: -status-addr requires -bench (only a live simulation has metrics to serve)")
+		return 2
+	}
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -120,6 +129,26 @@ func run() int {
 			defer cap.w.Flush() //nolint:errcheck
 		}
 		mem := memsys.New(memCfg, cap)
+		// A scrape snapshots the hierarchy's registry live; between scrapes
+		// the simulation pays nothing.
+		if *statusAddr != "" {
+			reg := telemetry.NewRegistry()
+			mem.AttachTelemetry(reg.Sub("memsys"), telemetry.Nop())
+			ln, err := net.Listen("tcp", *statusAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcptrace:", err)
+				return 1
+			}
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", telemetry.PromHandler(func() []telemetry.PromSet {
+				return []telemetry.PromSet{telemetry.PromFromRegistry(reg,
+					telemetry.PromLabel{Name: "bench", Value: *bench})}
+			}))
+			fmt.Fprintf(os.Stderr, "tcptrace: metrics on http://%s/metrics\n", ln.Addr())
+			srv := &http.Server{Handler: mux}
+			go srv.Serve(ln) //nolint:errcheck // listener failure only loses the metrics view
+			defer srv.Close()
+		}
 		core := cpu.New(cpu.Config{}, mem)
 		core.RunMeasured(workload.New(spec, *seed), *warm, *n, func(int64) { cap.armed = true })
 		if cap.err != nil {

@@ -25,6 +25,7 @@ import (
 	"go/ast"
 	"go/types"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -41,6 +42,21 @@ var Analyzer = &analysis.Analyzer{
 
 // nameRE is the registry naming convention: dot-separated lower_snake_case.
 var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+
+// knownRoots lists the top-level metric namespaces in use. One- and
+// two-segment names are usually relative to a sub-registry and say nothing
+// about their root, but a three-or-more-segment name is a fully-qualified
+// path — its first segment must be a namespace the reporting pipeline
+// (run reports, /metrics exposition, figure extraction) knows about, or the
+// metric lands in a family no consumer reads. Extend this list when a new
+// subsystem mints a namespace (as internal/fleetobs did with fleet.*).
+var knownRoots = map[string]bool{
+	"cpu":      true,
+	"memsys":   true,
+	"prefetch": true,
+	"run":      true,
+	"fleet":    true,
+}
 
 // mutators lists the state-changing methods per metric kind.
 var mutators = map[string]map[string]bool{
@@ -192,7 +208,24 @@ func checkName(pass *analysis.Pass, at ast.Expr, name string) {
 	if !nameRE.MatchString(name) {
 		pass.Reportf(at.Pos(), "metric name %q violates the registry convention "+
 			"(dot-separated lower_snake_case, e.g. \"memsys.l1.misses\")", name)
+		return
 	}
+	if segs := strings.Split(name, "."); len(segs) >= 3 && !knownRoots[segs[0]] {
+		pass.Reportf(at.Pos(), "metric name %q is rooted in unknown namespace %q; "+
+			"fully-qualified names must start with a known root (%s) or no report "+
+			"consumer will read the family — extend statreg knownRoots when adding one",
+			name, segs[0], knownRootList())
+	}
+}
+
+// knownRootList renders knownRoots sorted for stable diagnostics.
+func knownRootList() string {
+	roots := make([]string, 0, len(knownRoots))
+	for r := range knownRoots {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+	return strings.Join(roots, ", ")
 }
 
 func reportDuplicate(pass *analysis.Pass, call *ast.CallExpr, seen map[string]string, key, kind, name string) {

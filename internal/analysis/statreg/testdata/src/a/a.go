@@ -34,6 +34,18 @@ func badNames(reg *telemetry.Registry) {
 	_ = reg.Sub("L1") // want `metric name "L1" violates the registry convention`
 }
 
+// namespaces: three-or-more-segment names are fully qualified, so their
+// first segment must be a known namespace root. Shorter names are usually
+// relative to a sub-registry and are never root-checked.
+func namespaces(reg *telemetry.Registry) {
+	reg.Counter("fleet.jobs.total", "known root, fully qualified")
+	reg.Gauge("memsys.l1.occupancy", "known root, fully qualified")
+	reg.Counter("flete.jobs.total", "typo'd root") // want `metric name "flete\.jobs\.total" is rooted in unknown namespace "flete"`
+	reg.Counter("cache.hits.total", "unknown root") // want `metric name "cache\.hits\.total" is rooted in unknown namespace "cache"`
+	reg.Counter("cache.hits2", "two segments: relative, not root-checked")
+	reg.Counter("hits2", "one segment: relative, not root-checked")
+}
+
 // duplicates registers one name twice with the same kind and another with
 // conflicting kinds.
 func duplicates(reg *telemetry.Registry) {

@@ -83,6 +83,7 @@ type Store struct {
 	ttl    time.Duration
 	clock  Clock
 	faults *Faults
+	rec    *Recorder
 
 	pollMin, pollMax time.Duration
 
@@ -131,6 +132,14 @@ func (s *Store) SetFaults(f *Faults) { s.faults = f }
 // Faults returns the installed crash-injection script (nil in production).
 func (s *Store) Faults() *Faults { return s.faults }
 
+// SetRecorder attaches a flight recorder; claim-protocol transitions on
+// this store are logged to per-job flight files. Nil (the default) disables
+// recording at one branch per event.
+func (s *Store) SetRecorder(rec *Recorder) { s.rec = rec }
+
+// Recorder returns the attached flight recorder (nil when disabled).
+func (s *Store) Recorder() *Recorder { return s.rec }
+
 // Worker returns this store's worker id.
 func (s *Store) Worker() string { return s.worker }
 
@@ -148,7 +157,11 @@ func (s *Store) Stats() Stats {
 	}
 }
 
-func (s *Store) leasePath(job string) string { return filepath.Join(s.dir, job+".lease") }
+// LeaseSuffix is appended to a job's manifest filename to name its lease
+// file; observers (internal/fleetobs) use it to pair leases with jobs.
+const LeaseSuffix = ".lease"
+
+func (s *Store) leasePath(job string) string { return filepath.Join(s.dir, job+LeaseSuffix) }
 
 // writeWhole writes data to a unique temp file in the store directory and
 // returns its path. Callers link or rename it into place; either way
@@ -200,6 +213,7 @@ func (s *Store) TryClaim(job string) (*Claim, bool, error) {
 		return nil, false, err
 	}
 	s.claims.Add(1)
+	s.rec.Record(job, EventClaim)
 	return &Claim{s: s, lease: l, done: make(chan struct{})}, true, nil
 }
 
@@ -225,6 +239,7 @@ func (c *Claim) heartbeatLoop() {
 		}
 		if err := c.renew(); err != nil {
 			c.s.leasesLost.Add(1)
+			c.s.rec.Record(c.lease.Job, EventLeaseLost)
 			return
 		}
 	}
@@ -262,6 +277,7 @@ func (c *Claim) renew() error {
 		return err
 	}
 	c.s.heartbeats.Add(1)
+	c.s.rec.RecordSeq(c.lease.Job, EventHeartbeat, c.lease.Seq)
 	return nil
 }
 
@@ -271,6 +287,7 @@ func (c *Claim) Release() {
 	c.stop.Do(func() { close(c.done) })
 	os.Remove(c.s.leasePath(c.lease.Job))
 	c.s.releases.Add(1)
+	c.s.rec.Record(c.lease.Job, EventRelease)
 }
 
 // Abandon stops the heartbeat renewer but leaves the lease file on disk —
@@ -320,6 +337,7 @@ func (s *Store) StealIfStale(job string) bool {
 	os.Remove(dst)
 	s.forgetCorrupt(job)
 	s.steals.Add(1)
+	s.rec.Record(job, EventSteal)
 	return true
 }
 

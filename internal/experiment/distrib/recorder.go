@@ -1,0 +1,254 @@
+package distrib
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FlightSuffix is appended to a job's manifest filename to name its flight
+// log ("job-0123456789abcdef.json.flight"). The suffix keeps flight logs
+// out of the "job-*.json" manifest glob.
+const FlightSuffix = ".flight"
+
+// Flight-recorder event names. One event is appended per claim-protocol
+// transition, so a post-mortem can replay exactly who held which job when.
+const (
+	// EventClaim records a successful lease acquisition.
+	EventClaim = "claim"
+	// EventHeartbeat records a successful lease renewal; Seq carries the
+	// renewal count.
+	EventHeartbeat = "heartbeat"
+	// EventSteal records a stale lease reclaimed from a presumed-dead
+	// holder.
+	EventSteal = "steal"
+	// EventCrash records an injected crash firing; Point carries the
+	// fault-injection site. Real crashes leave no event — they are visible
+	// as a claim with no matching release and a stale heartbeat.
+	EventCrash = "crash"
+	// EventManifestCommit records the job's result manifest rename
+	// landing.
+	EventManifestCommit = "manifest-commit"
+	// EventRelease records a lease released after a completed job.
+	EventRelease = "release"
+	// EventLeaseLost records a renewal that found the lease stolen; the
+	// holder keeps simulating and publishes anyway (identical bytes).
+	EventLeaseLost = "lease-lost"
+)
+
+// FlightEvent is one line of a job's flight log.
+type FlightEvent struct {
+	// T is the recording worker's Clock.Now at the event, nanoseconds.
+	T int64 `json:"t_ns"`
+	// Job is the manifest filename the event concerns.
+	Job string `json:"job"`
+	// Worker is the id of the worker that recorded the event.
+	Worker string `json:"worker"`
+	// Event is one of the Event* names above.
+	Event string `json:"event"`
+	// Point is the fault-injection site for EventCrash.
+	Point string `json:"point,omitempty"`
+	// Seq is the renewal count for EventHeartbeat.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// Recorder is the per-job flight recorder: a bounded ring of claim-protocol
+// events kept as <job>.flight JSONL files next to the manifests, so any
+// fleet run — including the fault-injection tests' crash/steal sequences —
+// can be replayed as a timeline (tcpstatus -timeline) after the fact.
+//
+// A nil *Recorder is the disabled recorder: every Record* method returns
+// immediately on a nil receiver, costing one branch and zero allocations —
+// the same discipline as telemetry.Tracer.Emit. Production workers only pay
+// for the recorder when one is attached with Store.SetRecorder.
+//
+// Writes are line-append (O_APPEND) so several workers may log to one job's
+// file; once a file grows past twice the ring capacity it is compacted to
+// the newest capacity-many lines with an atomic temp-file + rename.
+// Compaction racing a concurrent append can drop that one line — the log is
+// bounded best-effort observability, never an input to the claim protocol.
+type Recorder struct {
+	dir    string
+	worker string
+	clock  Clock
+	cap    int
+
+	mu     sync.Mutex
+	counts map[string]int // job -> known line count of its flight file
+}
+
+// DefaultFlightCap is the per-job ring capacity when NewRecorder is given a
+// non-positive one.
+const DefaultFlightCap = 256
+
+// NewRecorder creates a flight recorder writing next to the manifests in
+// dir. worker and clock should match the lease store's; a nil clock selects
+// System; capPerJob bounds each job's ring (<= 0 selects DefaultFlightCap).
+func NewRecorder(dir, worker string, clock Clock, capPerJob int) *Recorder {
+	if clock == nil {
+		clock = System
+	}
+	if capPerJob <= 0 {
+		capPerJob = DefaultFlightCap
+	}
+	return &Recorder{
+		dir:    dir,
+		worker: worker,
+		clock:  clock,
+		cap:    capPerJob,
+		counts: make(map[string]int),
+	}
+}
+
+// Record appends one event for job. A nil receiver is a one-branch no-op
+// with zero allocations; everything that can allocate lives in record.
+func (r *Recorder) Record(job, event string) {
+	if r == nil {
+		return
+	}
+	r.record(FlightEvent{Job: job, Event: event})
+}
+
+// RecordSeq appends a heartbeat-style event carrying a renewal count. Safe
+// on a nil receiver.
+func (r *Recorder) RecordSeq(job, event string, seq uint64) {
+	if r == nil {
+		return
+	}
+	r.record(FlightEvent{Job: job, Event: event, Seq: seq})
+}
+
+// RecordPoint appends a crash-style event carrying a fault-injection site.
+// Safe on a nil receiver.
+func (r *Recorder) RecordPoint(job, event string, p Point) {
+	if r == nil {
+		return
+	}
+	r.record(FlightEvent{Job: job, Event: event, Point: string(p)})
+}
+
+func (r *Recorder) flightPath(job string) string {
+	return filepath.Join(r.dir, job+FlightSuffix)
+}
+
+// record stamps, serializes, and appends ev, compacting the job's file when
+// it outgrows the ring. Failures are silent by design: the recorder is
+// observability, and losing a line must never stall or fail a sweep.
+func (r *Recorder) record(ev FlightEvent) {
+	ev.T = r.clock.Now()
+	ev.Worker = r.worker
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	path := r.flightPath(ev.Job)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, known := r.counts[ev.Job]
+	if !known {
+		// First event for this job through this recorder: another worker
+		// may already have logged to the file, so count what is there.
+		n = countFlightLines(path)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	_, werr := f.Write(data)
+	f.Close()
+	if werr != nil {
+		return
+	}
+	n++
+	r.counts[ev.Job] = n
+	if n > 2*r.cap {
+		r.compact(ev.Job, path)
+	}
+}
+
+// compact rewrites the job's flight file down to its newest cap lines with
+// an atomic temp-file + rename, and resets the tracked count.
+func (r *Recorder) compact(job, path string) {
+	events, err := ReadFlight(path)
+	if err != nil {
+		return
+	}
+	if len(events) > r.cap {
+		events = events[len(events)-r.cap:]
+	}
+	var buf []byte
+	for _, ev := range events {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	f, err := os.CreateTemp(r.dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return
+	}
+	tmp := f.Name()
+	_, werr := f.Write(buf)
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	r.counts[job] = len(events)
+}
+
+func countFlightLines(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, b := range data {
+		if b == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// ReadFlight parses one flight log. Unparseable lines (a torn tail from a
+// write racing the reader) are skipped, never surfaced as partial events; a
+// missing file is an empty log, not an error.
+func ReadFlight(path string) ([]FlightEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var events []FlightEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev FlightEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue
+		}
+		if ev.Job == "" || ev.Event == "" {
+			continue
+		}
+		events = append(events, ev)
+	}
+	return events, sc.Err()
+}

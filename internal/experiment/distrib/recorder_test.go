@@ -1,0 +1,226 @@
+package distrib
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(100)
+	r := NewRecorder(dir, "w1", clock, 0)
+
+	r.Record(testJob, EventClaim)
+	clock.Advance(5 * time.Nanosecond)
+	r.RecordSeq(testJob, EventHeartbeat, 3)
+	clock.Advance(5 * time.Nanosecond)
+	r.RecordPoint(testJob, EventCrash, MidJob)
+	r.Record(testJob, EventManifestCommit)
+	r.Record(testJob, EventRelease)
+
+	events, err := ReadFlight(filepath.Join(dir, testJob+FlightSuffix))
+	if err != nil {
+		t.Fatalf("ReadFlight: %v", err)
+	}
+	want := []FlightEvent{
+		{T: 100, Job: testJob, Worker: "w1", Event: EventClaim},
+		{T: 105, Job: testJob, Worker: "w1", Event: EventHeartbeat, Seq: 3},
+		{T: 110, Job: testJob, Worker: "w1", Event: EventCrash, Point: string(MidJob)},
+		{T: 110, Job: testJob, Worker: "w1", Event: EventManifestCommit},
+		{T: 110, Job: testJob, Worker: "w1", Event: EventRelease},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(events), len(want), events)
+	}
+	for i, ev := range events {
+		if ev != want[i] {
+			t.Errorf("event[%d] = %+v, want %+v", i, ev, want[i])
+		}
+	}
+}
+
+func TestRecorderNilIsNoOpWithZeroAllocs(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(testJob, EventClaim)
+		r.RecordSeq(testJob, EventHeartbeat, 1)
+		r.RecordPoint(testJob, EventCrash, MidJob)
+	})
+	if allocs != 0 {
+		t.Errorf("nil recorder allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestRecorderCompaction(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(1)
+	r := NewRecorder(dir, "w1", clock, 4)
+
+	// The ring compacts once a file exceeds twice its capacity, keeping
+	// only the newest cap lines.
+	for i := 0; i < 9; i++ {
+		clock.Advance(time.Nanosecond)
+		r.RecordSeq(testJob, EventHeartbeat, uint64(i))
+	}
+	events, err := ReadFlight(filepath.Join(dir, testJob+FlightSuffix))
+	if err != nil {
+		t.Fatalf("ReadFlight: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("after compaction got %d events, want 4", len(events))
+	}
+	for i, ev := range events {
+		if want := uint64(i + 5); ev.Seq != want {
+			t.Errorf("event[%d].Seq = %d, want %d (newest lines kept)", i, ev.Seq, want)
+		}
+	}
+	// No temp files survive compaction.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != testJob+FlightSuffix {
+			t.Errorf("leftover file %s after compaction", e.Name())
+		}
+	}
+}
+
+func TestRecorderCountsExistingLines(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(1)
+	// Worker a logs 7 events; a fresh recorder (a restarted or second
+	// worker) must count them so the shared ring still bounds the file.
+	a := NewRecorder(dir, "a", clock, 4)
+	for i := 0; i < 7; i++ {
+		a.RecordSeq(testJob, EventHeartbeat, uint64(i))
+	}
+	b := NewRecorder(dir, "b", clock, 4)
+	b.Record(testJob, EventSteal) // 8 lines: at the threshold
+	b.Record(testJob, EventClaim) // 9 lines: compacts to 4
+	events, err := ReadFlight(filepath.Join(dir, testJob+FlightSuffix))
+	if err != nil {
+		t.Fatalf("ReadFlight: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("after cross-recorder compaction got %d events, want 4", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Worker != "b" || last.Event != EventClaim {
+		t.Errorf("newest event = %+v, want b's claim", last)
+	}
+}
+
+func TestReadFlightSkipsTornLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, testJob+FlightSuffix)
+	raw := `{"t_ns":1,"job":"` + testJob + `","worker":"a","event":"claim"}
+{"t_ns":2,"job":"` + testJob + `","wor
+` + `
+{"t_ns":3,"job":"","worker":"a","event":"release"}
+{"t_ns":4,"job":"` + testJob + `","worker":"a","event":"release"}
+`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadFlight(path)
+	if err != nil {
+		t.Fatalf("ReadFlight: %v", err)
+	}
+	// The torn line, the blank line, and the line with no job identity are
+	// all skipped; the complete records survive.
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2: %+v", len(events), events)
+	}
+	if events[0].Event != EventClaim || events[1].Event != EventRelease {
+		t.Errorf("events = %+v, want claim then release", events)
+	}
+}
+
+func TestReadFlightMissingFile(t *testing.T) {
+	events, err := ReadFlight(filepath.Join(t.TempDir(), "absent.flight"))
+	if err != nil || events != nil {
+		t.Errorf("ReadFlight(missing) = (%v, %v), want (nil, nil)", events, err)
+	}
+}
+
+func TestStoreRecordsClaimProtocol(t *testing.T) {
+	dir := t.TempDir()
+	clock := NewManualClock(1)
+	a := newTestStore(t, dir, "a", time.Second, clock)
+	b := newTestStore(t, dir, "b", time.Second, clock)
+	a.SetRecorder(NewRecorder(dir, "a", clock, 0))
+	b.SetRecorder(NewRecorder(dir, "b", clock, 0))
+
+	ca, got, _ := a.TryClaim(testJob)
+	if !got {
+		t.Fatal("a.TryClaim failed")
+	}
+	ca.Abandon() // crash: lease stays, heartbeats stop
+	clock.Advance(2 * time.Second)
+	if !b.StealIfStale(testJob) {
+		t.Fatal("steal failed")
+	}
+	cb, got, _ := b.TryClaim(testJob)
+	if !got {
+		t.Fatal("b.TryClaim after steal failed")
+	}
+	cb.Release()
+
+	events, err := ReadFlight(filepath.Join(dir, testJob+FlightSuffix))
+	if err != nil {
+		t.Fatalf("ReadFlight: %v", err)
+	}
+	var got4 []string
+	for _, ev := range events {
+		got4 = append(got4, ev.Worker+":"+ev.Event)
+	}
+	want := []string{"a:claim", "b:steal", "b:claim", "b:release"}
+	if fmt.Sprint(got4) != fmt.Sprint(want) {
+		t.Errorf("flight log = %v, want %v", got4, want)
+	}
+}
+
+// TestStealTTLBoundary pins the staleness horizon exactly: a lease is
+// honoured through now == Heartbeat+TTL and becomes stealable one
+// nanosecond later. Off-by-one here either steals from live workers
+// (duplicated work, wasted simulation) or strands crashed jobs for an
+// extra poll cycle.
+func TestStealTTLBoundary(t *testing.T) {
+	const ttl = time.Second
+	for _, tc := range []struct {
+		name    string
+		advance time.Duration
+		stolen  bool
+	}{
+		{"one tick before expiry", ttl - time.Nanosecond, false},
+		{"exactly at expiry", ttl, false},
+		{"one tick past expiry", ttl + time.Nanosecond, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			clock := NewManualClock(1)
+			holder := newTestStore(t, dir, "holder", ttl, clock)
+			thief := newTestStore(t, dir, "thief", ttl, clock)
+			c, got, _ := holder.TryClaim(testJob)
+			if !got {
+				t.Fatal("TryClaim failed")
+			}
+			c.Abandon()
+			clock.Advance(tc.advance)
+			if stole := thief.StealIfStale(testJob); stole != tc.stolen {
+				t.Errorf("StealIfStale at Heartbeat+%v = %v, want %v", tc.advance, stole, tc.stolen)
+			}
+			wantSteals := uint64(0)
+			if tc.stolen {
+				wantSteals = 1
+			}
+			if st := thief.Stats(); st.Steals != wantSteals {
+				t.Errorf("steals = %d, want %d", st.Steals, wantSteals)
+			}
+		})
+	}
+}

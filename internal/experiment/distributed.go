@@ -46,6 +46,10 @@ type IncompleteGridError struct {
 	Bench    string
 	Factory  string
 	Baseline bool
+	// Job is the missing manifest's filename, so operators can match the
+	// hole against lease files and flight logs in the checkpoint directory
+	// (tcpstatus reports the last-known holder per job).
+	Job string
 }
 
 func (e *IncompleteGridError) Error() string {
@@ -53,8 +57,8 @@ func (e *IncompleteGridError) Error() string {
 	if e.Baseline {
 		kind = "baseline job"
 	}
-	return fmt.Sprintf("experiment: gather: no manifest for %s %s/%s — the distributed workers have not completed this grid",
-		kind, e.Bench, e.Factory)
+	return fmt.Sprintf("experiment: gather: no manifest %s for %s %s/%s — the distributed workers have not completed this grid",
+		e.Job, kind, e.Bench, e.Factory)
 }
 
 // requireComplete enforces strict-gather mode for a storable job whose
@@ -63,10 +67,11 @@ func (r *Runner) requireComplete(bench, factory string, baseline bool, c sim.Con
 	if !r.strict {
 		return
 	}
-	if _, ok := jobFile(bench, factory, baseline, c); !ok {
+	name, ok := jobFile(bench, factory, baseline, c)
+	if !ok {
 		return // unstorable: gather simulates it locally by design
 	}
-	panic(&IncompleteGridError{Bench: bench, Factory: factory, Baseline: baseline})
+	panic(&IncompleteGridError{Bench: bench, Factory: factory, Baseline: baseline, Job: name})
 }
 
 // runDistributed resolves one job against the shared directory: answer it
@@ -111,7 +116,11 @@ func (r *Runner) runClaimed(claim *distrib.Claim, name, bench string, f sim.Fact
 			return
 		}
 		p := recover()
-		if _, crashed := p.(*distrib.Crash); crashed {
+		if c, crashed := p.(*distrib.Crash); crashed {
+			// Record the crash point before abandoning: a real kill leaves
+			// no event, but injected crashes are test scaffolding and the
+			// timeline is far more readable with the point in it.
+			r.claims.Recorder().RecordPoint(name, distrib.EventCrash, c.Point)
 			claim.Abandon()
 		} else {
 			claim.Release()

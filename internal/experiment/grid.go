@@ -31,6 +31,22 @@ type GridDesc struct {
 	WarmFork     bool     `json:"warm_fork"`
 }
 
+// ReadGrid reads the grid descriptor recorded in a checkpoint directory.
+// It returns fs.ErrNotExist (wrapped) when no grid has been recorded yet —
+// callers that only observe the directory (tcpstatus, fleetobs) treat that
+// as "no grid", not a failure.
+func ReadGrid(dir string) (GridDesc, error) {
+	data, err := os.ReadFile(filepath.Join(dir, gridManifestName))
+	if err != nil {
+		return GridDesc{}, err
+	}
+	var d GridDesc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return GridDesc{}, fmt.Errorf("experiment: corrupt grid manifest in %s: %w", dir, err)
+	}
+	return d, nil
+}
+
 // GridMismatchError is the typed error returned when a checkpoint
 // directory's recorded grid differs from the requested one.
 type GridMismatchError struct {

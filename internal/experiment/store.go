@@ -27,6 +27,7 @@ type ResultStore struct {
 	dir    string
 	resume bool
 	faults *distrib.Faults
+	rec    *distrib.Recorder
 }
 
 // NewResultStore opens (creating if needed) a manifest directory. When
@@ -43,6 +44,11 @@ func NewResultStore(dir string, resume bool) (*ResultStore, error) {
 // distrib.BeforeRename point fires between the manifest's temp-file write
 // and its atomic rename.
 func (s *ResultStore) SetFaults(f *distrib.Faults) { s.faults = f }
+
+// SetRecorder attaches a flight recorder: each successful manifest publish
+// logs a manifest-commit event to the job's flight file. Nil (the default)
+// disables recording at one branch per publish.
+func (s *ResultStore) SetRecorder(rec *distrib.Recorder) { s.rec = rec }
 
 // storedResult is the manifest schema. Bench/Factory/Baseline echo the job
 // identity so a filename hash collision is detected instead of trusted.
@@ -138,5 +144,7 @@ func (s *ResultStore) Save(bench, factory string, baseline bool, c sim.Config, r
 	s.faults.Fire(distrib.BeforeRename, name)
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return
 	}
+	s.rec.Record(name, distrib.EventManifestCommit)
 }

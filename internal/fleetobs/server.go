@@ -1,0 +1,298 @@
+package fleetobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"tagprefetch/internal/experiment/distrib"
+	"tagprefetch/internal/telemetry"
+)
+
+// Transition is one job state change, as streamed over /events.
+type Transition struct {
+	// TNS is the observing clock's Now when the change was seen.
+	TNS  int64    `json:"t_ns"`
+	Job  string   `json:"job"`
+	From JobState `json:"from,omitempty"` // empty when the job first appears
+	To   JobState `json:"to"`
+	// Worker is the job's holder (or last-known worker) after the change.
+	Worker string `json:"worker,omitempty"`
+}
+
+// Server exposes a checkpoint directory's fleet status over HTTP:
+//
+//	/status  — a fresh FleetSnapshot as indented JSON
+//	/events  — Server-Sent Events: one "snapshot" event on connect, then a
+//	           "transition" event per job state change, observed by polling
+//	           the directory on the server's clock
+//	/metrics — Prometheus text exposition of the fleet.* gauges/counters
+//	           plus any extra registries attached with AddMetrics
+//
+// The server is read-only and advisory: it never writes to the directory,
+// and nothing is scanned or allocated between requests except the /events
+// poll loop (which only runs while Serve is live).
+type Server struct {
+	dir      string
+	clock    distrib.Clock
+	interval time.Duration
+
+	reg     *telemetry.Registry
+	scans   *telemetry.Counter
+	scrapes *telemetry.Counter
+
+	jobsTotal, jobsDone, jobsRunning  *telemetry.Gauge
+	jobsClaimed, jobsStale            *telemetry.Gauge
+	jobsStolen, jobsPending           *telemetry.Gauge
+	workersFresh, completion, etaSecs *telemetry.Gauge
+
+	mu    sync.Mutex
+	last  map[string]JobStatus // job -> status at the previous poll
+	subs  map[chan []byte]struct{}
+	extra []func() []telemetry.PromSet
+	srv   *http.Server
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// DefaultEventInterval is the /events poll cadence when NewServer is given
+// a non-positive one.
+const DefaultEventInterval = time.Second
+
+// NewServer creates a status server over dir. A nil clock selects
+// distrib.System; interval is the /events poll cadence (<= 0 selects
+// DefaultEventInterval).
+func NewServer(dir string, clock distrib.Clock, interval time.Duration) *Server {
+	if clock == nil {
+		clock = distrib.System
+	}
+	if interval <= 0 {
+		interval = DefaultEventInterval
+	}
+	reg := telemetry.NewRegistry()
+	s := &Server{
+		dir:      dir,
+		clock:    clock,
+		interval: interval,
+		reg:      reg,
+		subs:     make(map[chan []byte]struct{}),
+		done:     make(chan struct{}),
+	}
+	s.scans = reg.Counter("fleet.scans", "checkpoint-directory scans performed")
+	s.scrapes = reg.Counter("fleet.scrapes", "/metrics scrapes served")
+	s.jobsTotal = reg.Gauge("fleet.jobs.total", "jobs discovered in the checkpoint directory")
+	s.jobsDone = reg.Gauge("fleet.jobs.done", "jobs with a published result manifest")
+	s.jobsRunning = reg.Gauge("fleet.jobs.running", "jobs under a fresh renewed lease")
+	s.jobsClaimed = reg.Gauge("fleet.jobs.claimed", "jobs under a fresh never-renewed lease")
+	s.jobsStale = reg.Gauge("fleet.jobs.stale", "jobs whose lease heartbeat expired")
+	s.jobsStolen = reg.Gauge("fleet.jobs.stolen", "jobs between a steal and the stealer's re-claim")
+	s.jobsPending = reg.Gauge("fleet.jobs.pending", "discovered jobs with no lease or manifest")
+	s.workersFresh = reg.Gauge("fleet.workers.fresh", "workers holding at least one live lease")
+	s.completion = reg.Gauge("fleet.completion_pct", "percentage of discovered jobs done")
+	s.etaSecs = reg.Gauge("fleet.eta_seconds", "estimated seconds to finish remaining discovered jobs")
+	s.srv = &http.Server{Handler: s.Handler()}
+	return s
+}
+
+// scan observes the directory once, updating the fleet gauges.
+func (s *Server) scan() (*FleetSnapshot, error) {
+	snap, err := Scan(s.dir, s.clock)
+	if err != nil {
+		return nil, err
+	}
+	s.scans.Inc()
+	s.jobsTotal.Set(float64(snap.Total))
+	s.jobsDone.Set(float64(snap.States.Done))
+	s.jobsRunning.Set(float64(snap.States.Running))
+	s.jobsClaimed.Set(float64(snap.States.Claimed))
+	s.jobsStale.Set(float64(snap.States.Stale))
+	s.jobsStolen.Set(float64(snap.States.Stolen))
+	s.jobsPending.Set(float64(snap.States.Pending))
+	freshWorkers := 0
+	for _, w := range snap.Workers {
+		if w.Fresh {
+			freshWorkers++
+		}
+	}
+	s.workersFresh.Set(float64(freshWorkers))
+	s.completion.Set(snap.CompletionPct)
+	s.etaSecs.Set(float64(snap.ETANS) / 1e9)
+	return snap, nil
+}
+
+// AddMetrics registers an extra per-scrape metric collector whose sets are
+// rendered alongside the fleet.* family on /metrics (e.g. a worker's live
+// simulation registry). Collectors run only when a scrape arrives.
+func (s *Server) AddMetrics(collect func() []telemetry.PromSet) {
+	s.mu.Lock()
+	s.extra = append(s.extra, collect)
+	s.mu.Unlock()
+}
+
+// Handler returns the route mux (also reachable via Serve).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.Handle("/metrics", telemetry.PromHandler(s.collect))
+	return mux
+}
+
+func (s *Server) collect() []telemetry.PromSet {
+	s.scrapes.Inc()
+	s.scan() //nolint:errcheck // a failed scan serves the previous gauge values
+	sets := []telemetry.PromSet{telemetry.PromFromRegistry(s.reg)}
+	s.mu.Lock()
+	extra := append([]func() []telemetry.PromSet(nil), s.extra...)
+	s.mu.Unlock()
+	for _, fn := range extra {
+		sets = append(sets, fn()...)
+	}
+	return sets
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	snap, err := s.scan()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap) //nolint:errcheck // client gone mid-response is not actionable
+}
+
+// handleEvents streams job state transitions as SSE. The connection first
+// receives the current snapshot, then one transition event per change
+// observed by the poll loop.
+func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	snap, err := s.scan()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprintf(w, "event: snapshot\ndata: %s\n\n", data)
+	flusher.Flush()
+
+	ch := make(chan []byte, 64)
+	s.mu.Lock()
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.subs, ch)
+		s.mu.Unlock()
+	}()
+
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case <-s.done:
+			return
+		case msg := <-ch:
+			if _, err := w.Write(msg); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// watch is the /events poll loop: scan on the server's clock, diff job
+// states against the previous poll, broadcast one SSE message per change.
+func (s *Server) watch() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.clock.After(s.interval):
+		}
+		snap, err := s.scan()
+		if err != nil {
+			continue
+		}
+		s.publish(snap)
+	}
+}
+
+// publish diffs snap against the previous poll and broadcasts transitions.
+// Slow subscribers drop messages rather than stall the loop: /events is a
+// live view, and a dropped transition is recovered by re-reading /status.
+func (s *Server) publish(snap *FleetSnapshot) {
+	cur := make(map[string]JobStatus, len(snap.Jobs))
+	for _, js := range snap.Jobs {
+		cur[js.Job] = js
+	}
+	s.mu.Lock()
+	prev := s.last
+	s.last = cur
+	var msgs [][]byte
+	for _, js := range snap.Jobs { // snapshot order: sorted by job name
+		old, seen := prev[js.Job]
+		if seen && old.State == js.State {
+			continue
+		}
+		tr := Transition{TNS: snap.NowNS, Job: js.Job, To: js.State, Worker: js.Worker}
+		if seen {
+			tr.From = old.State
+		}
+		data, err := json.Marshal(tr)
+		if err != nil {
+			continue
+		}
+		msgs = append(msgs, []byte(fmt.Sprintf("event: transition\ndata: %s\n\n", data)))
+	}
+	if prev == nil {
+		msgs = nil // first poll: /events connections already got a snapshot
+	}
+	subs := make([]chan []byte, 0, len(s.subs))
+	for ch := range s.subs {
+		subs = append(subs, ch)
+	}
+	s.mu.Unlock()
+	for _, msg := range msgs {
+		for _, ch := range subs {
+			select {
+			case ch <- msg:
+			default:
+			}
+		}
+	}
+}
+
+// Serve runs the HTTP server on l, starting the /events poll loop; it
+// blocks until Close (returning nil) or a listener failure.
+func (s *Server) Serve(l net.Listener) error {
+	go s.watch()
+	err := s.srv.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Close stops the poll loop, disconnects /events streams, and shuts the
+// HTTP server down. Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.srv.Close() //nolint:errcheck // shutdown errors are not actionable
+}

@@ -1,0 +1,191 @@
+package fleetobs_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tagprefetch/internal/experiment/distrib"
+	"tagprefetch/internal/fleetobs"
+	"tagprefetch/internal/telemetry"
+)
+
+func TestServerStatusAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	const jobDone = "job-000000000000000a.json"
+	const jobHeld = "job-000000000000000b.json"
+	writeManifest(t, dir, jobDone)
+	clock := distrib.NewManualClock(1000)
+	writeLease(t, dir, jobHeld, "w1", 990, 100, 3)
+
+	srv := fleetobs.NewServer(dir, clock, 0)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatalf("GET /status: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/status content-type = %q", ct)
+	}
+	var snap fleetobs.FleetSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/status did not decode as FleetSnapshot: %v", err)
+	}
+	if snap.Total != 2 || snap.Done != 1 || snap.States.Running != 1 {
+		t.Errorf("/status snapshot = total %d done %d running %d, want 2/1/1",
+			snap.Total, snap.Done, snap.States.Running)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); ct != telemetry.PromContentType {
+		t.Errorf("/metrics content-type = %q, want %q", ct, telemetry.PromContentType)
+	}
+	body := readAll(t, mresp)
+	for _, want := range []string{
+		"# HELP tcp_fleet_jobs_total",
+		"# TYPE tcp_fleet_jobs_total gauge",
+		"tcp_fleet_jobs_total 2",
+		"tcp_fleet_jobs_done 1",
+		"tcp_fleet_jobs_running 1",
+		"tcp_fleet_workers_fresh 1",
+		"tcp_fleet_completion_pct 50",
+		"tcp_fleet_scrapes 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestServerAddMetrics(t *testing.T) {
+	dir := t.TempDir()
+	srv := fleetobs.NewServer(dir, distrib.NewManualClock(1), 0)
+	defer srv.Close()
+	reg := telemetry.NewRegistry()
+	reg.Counter("run.instructions", "retired").Add(42)
+	srv.AddMetrics(func() []telemetry.PromSet {
+		return []telemetry.PromSet{telemetry.PromFromRegistry(reg,
+			telemetry.PromLabel{Name: "bench", Value: "swim"})}
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := readAll(t, resp)
+	if !strings.Contains(body, `tcp_run_instructions{bench="swim"} 42`) {
+		t.Errorf("/metrics missing attached registry:\n%s", body)
+	}
+}
+
+// TestServerEvents drives the SSE stream end to end on the system clock: a
+// connection receives the current snapshot immediately, then a transition
+// event when a job changes state between polls.
+func TestServerEvents(t *testing.T) {
+	dir := t.TempDir()
+	const job = "job-000000000000000a.json"
+	writeLease(t, dir, job, "w1", time.Now().UnixNano(), int64(time.Hour), 1)
+
+	srv := fleetobs.NewServer(dir, nil, 5*time.Millisecond)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/events")
+	if err != nil {
+		t.Fatalf("GET /events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("/events content-type = %q", ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	event, data := readSSE(t, sc)
+	if event != "snapshot" {
+		t.Fatalf("first event = %q, want snapshot", event)
+	}
+	var snap fleetobs.FleetSnapshot
+	if err := json.Unmarshal([]byte(data), &snap); err != nil {
+		t.Fatalf("snapshot event did not decode: %v", err)
+	}
+	if snap.Total != 1 || snap.States.Running != 1 {
+		t.Errorf("snapshot = total %d running %d, want 1/1", snap.Total, snap.States.Running)
+	}
+
+	// Let at least one poll baseline the state, then complete the job.
+	time.Sleep(20 * time.Millisecond)
+	writeManifest(t, dir, job)
+
+	for {
+		event, data = readSSE(t, sc)
+		if event != "transition" {
+			t.Fatalf("event = %q, want transition", event)
+		}
+		var tr fleetobs.Transition
+		if err := json.Unmarshal([]byte(data), &tr); err != nil {
+			t.Fatalf("transition did not decode: %v", err)
+		}
+		if tr.Job != job {
+			continue
+		}
+		if tr.To != fleetobs.JobDone {
+			t.Errorf("transition = %+v, want to=done", tr)
+		}
+		return
+	}
+}
+
+// readSSE reads one "event:"/"data:" pair off the stream.
+func readSSE(t *testing.T, sc *bufio.Scanner) (event, data string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && event != "":
+			return event, data
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	t.Fatalf("SSE stream ended before a complete event (err=%v)", sc.Err())
+	return "", ""
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}

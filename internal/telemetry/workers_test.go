@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWorkerStatsOmitempty pins the serialization guarantee that keeps a
+// gathered distributed report byte-identical to a serial run's: a report
+// with no workers must not emit a "workers" key at all, and a WorkerStats
+// with only identity set must stay minimal. Every WorkerStats field except
+// the always-present ID and Claims must carry omitempty, so protocol
+// counters that stayed zero add no bytes.
+func TestWorkerStatsOmitempty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewReport("tcpsweep").WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"workers"`)) {
+		t.Errorf("report with zero workers serializes a workers key:\n%s", buf.String())
+	}
+
+	data, err := json.Marshal(WorkerStats{ID: "w1", Claims: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"id":"w1","claims":3}`; string(data) != want {
+		t.Errorf("minimal WorkerStats = %s, want %s", data, want)
+	}
+
+	rt := reflect.TypeOf(WorkerStats{})
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		tag := f.Tag.Get("json")
+		switch f.Name {
+		case "ID", "Claims":
+			// Identity and the headline counter always serialize.
+			if strings.Contains(tag, "omitempty") {
+				t.Errorf("field %s unexpectedly omitempty (tag %q)", f.Name, tag)
+			}
+		default:
+			if !strings.Contains(tag, ",omitempty") {
+				t.Errorf("field %s missing omitempty (tag %q): zero counters would bloat gathered reports", f.Name, tag)
+			}
+		}
+	}
+}
+
+// TestWorkerStatsRoundTrip: a populated workers section survives
+// write/read, and reading a serial report yields a nil Workers slice.
+func TestWorkerStatsRoundTrip(t *testing.T) {
+	rep := NewReport("tcpsweep")
+	rep.Workers = append(rep.Workers, WorkerStats{ID: "w1", Claims: 4, Steals: 1, Heartbeats: 9})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Workers, rep.Workers) {
+		t.Errorf("workers round trip = %+v, want %+v", back.Workers, rep.Workers)
+	}
+
+	buf.Reset()
+	if err := NewReport("tcpsweep").WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Workers != nil {
+		t.Errorf("serial report decoded Workers = %+v, want nil", serial.Workers)
+	}
+}
