@@ -40,13 +40,14 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (table1, fig1..fig7, fig11..fig15, ablations, all)")
-		n     = flag.Uint64("n", 1_000_000, "measured instructions per run")
-		warm  = flag.Uint64("warmup", 2_000_000, "warmup instructions per run")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		bench = flag.String("benches", "", "comma-separated benchmark subset (default all 26)")
-		asCSV = flag.Bool("csv", false, "emit table experiments as CSV instead of aligned text")
-		jobs  = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
+		exp      = flag.String("exp", "all", "experiment id (table1, fig1..fig7, fig11..fig15, ablations, all)")
+		n        = flag.Uint64("n", 1_000_000, "measured instructions per run")
+		warm     = flag.Uint64("warmup", 2_000_000, "warmup instructions per run")
+		fidelity = flag.String("warmup-fidelity", "full", "warmup engine: full (cycle-accurate) or fast (functional fast-forward, docs/FASTFORWARD.md)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		bench    = flag.String("benches", "", "comma-separated benchmark subset (default all 26)")
+		asCSV    = flag.Bool("csv", false, "emit table experiments as CSV instead of aligned text")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
 
 		reportIn   = flag.String("report", "", "render a telemetry report (from tcpsim/tcpsweep -json) instead of running experiments")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -81,7 +82,13 @@ func run() int {
 		return 0
 	}
 
-	if err := (sim.Config{Instructions: *n, Warmup: *warm, Seed: *seed}).Validate(); err != nil {
+	fid, err := sim.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcpfigs: -warmup-fidelity:", err)
+		return 2
+	}
+	if err := (sim.Config{Instructions: *n, Warmup: *warm, Seed: *seed,
+		WarmupFidelity: fid}).Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "tcpfigs:", err)
 		return 2
 	}
@@ -107,7 +114,7 @@ func run() int {
 	// One runner for every figure: baselines simulated for fig1 are reused
 	// by fig11, fig14 and the ablations via the memoised cache.
 	o := experiment.Options{Instructions: *n, Warmup: *warm, Seed: *seed,
-		BaselineWarmup: *warmFork, Runner: experiment.NewRunner(*jobs)}
+		WarmupFidelity: fid, BaselineWarmup: *warmFork, Runner: experiment.NewRunner(*jobs)}
 	if *bench != "" {
 		o.Benches = strings.Split(*bench, ",")
 	}
@@ -117,8 +124,15 @@ func run() int {
 		if len(benches) == 0 {
 			benches = workload.Names()
 		}
+		// The default engine is recorded as the field's absence, so default
+		// runs write grid.json byte-identical to pre-fidelity builds.
+		fidDesc := ""
+		if fid != sim.FidelityFull {
+			fidDesc = string(fid)
+		}
 		desc := experiment.GridDesc{Tool: "tcpfigs", Experiment: *exp,
-			Instructions: *n, Warmup: *warm, Seed: *seed, Benches: benches, WarmFork: *warmFork}
+			Instructions: *n, Warmup: *warm, WarmupFidelity: fidDesc,
+			Seed: *seed, Benches: benches, WarmFork: *warmFork}
 		if err := experiment.EnsureGrid(*ckptDir, desc, !*resume && !workerMode && !*gather); err != nil {
 			fmt.Fprintln(os.Stderr, "tcpfigs:", err)
 			var gm *experiment.GridMismatchError

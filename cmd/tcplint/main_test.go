@@ -1,0 +1,97 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tagprefetch/internal/analysis/hotalloc"
+)
+
+// runLint invokes the driver with args and returns its exit code and
+// combined output.
+func runLint(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "tcplint-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	code := run(args, f, f)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(out)
+}
+
+// The determinism analyzers must cover every simulator-state package; the
+// fast-forward engine lives in internal/cpu, so a regression here would
+// silently exempt it from the lint sweep.
+func TestRunsOnCoversSimPackages(t *testing.T) {
+	for _, path := range []string{
+		"tagprefetch/internal/cpu",
+		"tagprefetch/internal/cache",
+		"tagprefetch/internal/memsys",
+		"tagprefetch/internal/sim",
+		"tagprefetch/internal/experiment",
+	} {
+		for _, a := range analyzers {
+			if !runsOn(a, path) {
+				t.Errorf("analyzer %s does not run on %s", a.Name, path)
+			}
+		}
+	}
+	if runsOn(analyzers[0], "tagprefetch/internal/telemetry") {
+		t.Error("detmap must not run on host-side telemetry")
+	}
+}
+
+// The atomic engine's per-instruction step must carry the //tcp:hotpath
+// marker so hotalloc enforces its zero-allocation contract.
+func TestAtomicEngineCarriesHotpathMarker(t *testing.T) {
+	src := filepath.Join("..", "..", "internal", "cpu", "atomic.go")
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, src, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", src, err)
+	}
+	found := false
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), hotalloc.Marker) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("%s has no //%s marker; the fast-forward step is not hotalloc-covered", src, hotalloc.Marker)
+	}
+}
+
+// The full suite must run clean over the cpu package (including the
+// fast-forward engine) — its hot paths are marked and allocation-free.
+func TestSuiteCleanOnCPU(t *testing.T) {
+	code, out := runLint(t, "tagprefetch/internal/cpu")
+	if code != 0 {
+		t.Errorf("tcplint on internal/cpu exited %d:\n%s", code, out)
+	}
+}
+
+// The whole module stays lint-clean.
+func TestSuiteCleanRepoWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide load is slow")
+	}
+	code, out := runLint(t, "tagprefetch/...")
+	if code != 0 {
+		t.Errorf("tcplint on tagprefetch/... exited %d:\n%s", code, out)
+	}
+}

@@ -70,16 +70,17 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		bench  = flag.String("bench", "all", "SPEC2000 benchmark name, or 'all'")
-		pfName = flag.String("pf", "none", "prefetcher: none|tcp8k|tcp8m|hybrid8k|dbcp2m|stride|stream|markov|ghb|nextline|tcp")
-		pht    = flag.Int("pht", 8192, "PHT bytes for -pf tcp")
-		nbits  = flag.Int("nbits", 0, "miss-index bits in the PHT index for -pf tcp")
-		n      = flag.Uint64("n", 1_000_000, "measured instructions")
-		warm   = flag.Uint64("warmup", 0, "warmup instructions (default n/2)")
-		ideal  = flag.Bool("ideal", false, "ideal L2 (every L2 access hits)")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-		list   = flag.Bool("list", false, "list benchmark models and exit")
-		jobs   = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers across benchmarks (1 = serial)")
+		bench    = flag.String("bench", "all", "SPEC2000 benchmark name, or 'all'")
+		pfName   = flag.String("pf", "none", "prefetcher: none|tcp8k|tcp8m|hybrid8k|dbcp2m|stride|stream|markov|ghb|nextline|tcp")
+		pht      = flag.Int("pht", 8192, "PHT bytes for -pf tcp")
+		nbits    = flag.Int("nbits", 0, "miss-index bits in the PHT index for -pf tcp")
+		n        = flag.Uint64("n", 1_000_000, "measured instructions")
+		warm     = flag.Uint64("warmup", 0, "warmup instructions (default n/2)")
+		fidelity = flag.String("warmup-fidelity", "full", "warmup engine: full (cycle-accurate) or fast (functional fast-forward, docs/FASTFORWARD.md)")
+		ideal    = flag.Bool("ideal", false, "ideal L2 (every L2 access hits)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		list     = flag.Bool("list", false, "list benchmark models and exit")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers across benchmarks (1 = serial)")
 
 		jsonOut    = flag.String("json", "", "write a machine-readable run report (metrics, time series, phases) to this file")
 		sample     = flag.Int64("sample", 10_000, "time-series sampling interval in cycles (with -json/-progress)")
@@ -94,10 +95,18 @@ func run() int {
 		l1Geom      = flag.String("l1", "", "L1 dcache geometry as sizeBytes:ways:blockBytes (default Table 1)")
 		l2Geom      = flag.String("l2", "", "L2 cache geometry as sizeBytes:ways:blockBytes (default Table 1)")
 		savePath    = flag.String("save", "", "write a warm-state checkpoint to this file (single -bench only)")
-		saveAt      = flag.Uint64("save-at", 0, "instruction count at which -save snapshots (default: the warmup/measure boundary)")
+		saveAt      = flag.Uint64("save-at", 0, "instruction count at which -save snapshots; unset defaults to the warmup/measure boundary, an explicit 0 snapshots the initial state")
 		restorePath = flag.String("restore", "", "restore machine state from a checkpoint file and continue (single -bench only)")
 	)
 	flag.Parse()
+	// -save-at 0 is a real position (the pre-warmup initial state), not the
+	// boundary default, so the default is keyed on set-ness rather than value.
+	saveAtSet := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "save-at" {
+			saveAtSet = true
+		}
+	})
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -120,11 +129,17 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "tcpsim:", err)
 		return 2
 	}
+	fid, err := sim.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcpsim: -warmup-fidelity:", err)
+		return 2
+	}
 	cfg := sim.Config{
-		Instructions: *n,
-		Warmup:       *warm,
-		Seed:         *seed,
-		Mem:          memsys.Config{IdealL2: *ideal},
+		Instructions:   *n,
+		Warmup:         *warm,
+		WarmupFidelity: fid,
+		Seed:           *seed,
+		Mem:            memsys.Config{IdealL2: *ideal},
 	}
 	if *l1Geom != "" {
 		g, err := parseGeometry(*l1Geom)
@@ -145,6 +160,17 @@ func run() int {
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "tcpsim:", err)
 		return 2
+	}
+	// Validate -save-at against the run's end while the flag is still in
+	// hand: sim.Machine.RunTo clamps to the final instruction, so an
+	// out-of-range value would otherwise silently snapshot the end state.
+	if saveAtSet {
+		total := cfg.Normalized().Warmup + cfg.Normalized().Instructions
+		if *saveAt > total {
+			fmt.Fprintf(os.Stderr, "tcpsim: -save-at %d is past the end of the run (warmup %d + measured %d = %d instructions)\n",
+				*saveAt, cfg.Normalized().Warmup, cfg.Normalized().Instructions, total)
+			return 2
+		}
 	}
 
 	benches := workload.Names()
@@ -235,8 +261,8 @@ func run() int {
 	}
 
 	var results []sim.Result
-	if *savePath != "" || *saveAt > 0 || *restorePath != "" {
-		if *savePath == "" && *saveAt > 0 {
+	if *savePath != "" || saveAtSet || *restorePath != "" {
+		if *savePath == "" && saveAtSet {
 			fmt.Fprintln(os.Stderr, "tcpsim: -save-at requires -save FILE")
 			return 2
 		}
@@ -244,7 +270,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "tcpsim: -save/-restore need a single benchmark (-bench NAME, not all)")
 			return 2
 		}
-		r, code := runCheckpointed(benches[0], f, simJobs[0].Config, *savePath, *saveAt, *restorePath)
+		r, code := runCheckpointed(benches[0], f, simJobs[0].Config, *savePath, *saveAt, saveAtSet, *restorePath)
 		if code != 0 {
 			return code
 		}
@@ -314,9 +340,11 @@ func installProgress(s *telemetry.Sampler, bench string, everyMillion uint64) {
 // runCheckpointed drives a single benchmark on an explicit sim.Machine so its
 // state can be snapshotted mid-run (-save/-save-at) or seeded from a prior
 // snapshot (-restore). Restoring and continuing is bit-identical to the
-// uninterrupted run, so the printed table matches either way.
+// uninterrupted run, so the printed table matches either way. saveAtSet
+// distinguishes an explicit -save-at 0 (snapshot the initial state) from the
+// flag being absent (snapshot at the warmup/measure boundary).
 func runCheckpointed(bench string, f sim.Factory, cfg sim.Config,
-	savePath string, saveAt uint64, restorePath string) (sim.Result, int) {
+	savePath string, saveAt uint64, saveAtSet bool, restorePath string) (sim.Result, int) {
 	spec, err := workload.Spec2000(bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcpsim:", err)
@@ -341,9 +369,9 @@ func runCheckpointed(bench string, f sim.Factory, cfg sim.Config,
 			restorePath, m.Position(), m.Total())
 	}
 	if savePath != "" {
-		at := saveAt
-		if at == 0 {
-			at = cfg.Normalized().Warmup
+		at := cfg.Normalized().Warmup
+		if saveAtSet {
+			at = saveAt
 		}
 		if at < m.Position() {
 			fmt.Fprintf(os.Stderr, "tcpsim: -save-at %d is before the current position %d\n",

@@ -43,12 +43,13 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		sweep = flag.String("sweep", "size", "sweep: size | nbits | k | assoc | hash | targets | baselines | critfilter | strideassist | placement | branchpred")
-		n     = flag.Uint64("n", 1_000_000, "measured instructions per run")
-		warm  = flag.Uint64("warmup", 2_000_000, "warmup instructions per run")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		bench = flag.String("benches", "", "comma-separated benchmark subset (default all 26)")
-		jobs  = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
+		sweep    = flag.String("sweep", "size", "sweep: size | nbits | k | assoc | hash | targets | baselines | critfilter | strideassist | placement | branchpred")
+		n        = flag.Uint64("n", 1_000_000, "measured instructions per run")
+		warm     = flag.Uint64("warmup", 2_000_000, "warmup instructions per run")
+		fidelity = flag.String("warmup-fidelity", "full", "warmup engine: full (cycle-accurate) or fast (functional fast-forward, docs/FASTFORWARD.md)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		bench    = flag.String("benches", "", "comma-separated benchmark subset (default all 26)")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial)")
 
 		jsonOut    = flag.String("json", "", "write the sweep's curves and tables as a machine-readable report to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -75,7 +76,13 @@ func run() int {
 	}
 	defer stopProf()
 
-	if err := (sim.Config{Instructions: *n, Warmup: *warm, Seed: *seed}).Validate(); err != nil {
+	fid, err := sim.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcpsweep: -warmup-fidelity:", err)
+		return 2
+	}
+	if err := (sim.Config{Instructions: *n, Warmup: *warm, Seed: *seed,
+		WarmupFidelity: fid}).Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "tcpsweep:", err)
 		return 2
 	}
@@ -99,7 +106,7 @@ func run() int {
 	}
 
 	o := experiment.Options{Instructions: *n, Warmup: *warm, Seed: *seed,
-		BaselineWarmup: *warmFork, Runner: experiment.NewRunner(*jobs)}
+		WarmupFidelity: fid, BaselineWarmup: *warmFork, Runner: experiment.NewRunner(*jobs)}
 	if *bench != "" {
 		o.Benches = strings.Split(*bench, ",")
 	}
@@ -110,8 +117,15 @@ func run() int {
 		if len(benches) == 0 {
 			benches = workload.Names()
 		}
+		// The default engine is recorded as the field's absence, so default
+		// runs write grid.json byte-identical to pre-fidelity builds.
+		fidDesc := ""
+		if fid != sim.FidelityFull {
+			fidDesc = string(fid)
+		}
 		desc := experiment.GridDesc{Tool: "tcpsweep", Experiment: *sweep,
-			Instructions: *n, Warmup: *warm, Seed: *seed, Benches: benches, WarmFork: *warmFork}
+			Instructions: *n, Warmup: *warm, WarmupFidelity: fidDesc,
+			Seed: *seed, Benches: benches, WarmFork: *warmFork}
 		// Consumers of existing manifests (resume, workers, gather) must
 		// match the recorded grid; a fresh recording run replaces it.
 		if err := experiment.EnsureGrid(*ckptDir, desc, !*resume && !workerMode && !*gather); err != nil {

@@ -20,6 +20,7 @@ import (
 	"tagprefetch/internal/prefetch"
 	"tagprefetch/internal/profiler"
 	"tagprefetch/internal/profiling"
+	"tagprefetch/internal/sim"
 	"tagprefetch/internal/stats"
 	"tagprefetch/internal/telemetry"
 	"tagprefetch/internal/trace"
@@ -62,12 +63,13 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		bench = flag.String("bench", "", "SPEC2000 benchmark to trace")
-		n     = flag.Uint64("n", 1_000_000, "measured instructions")
-		warm  = flag.Uint64("warmup", 2_000_000, "warmup instructions")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		out   = flag.String("o", "", "dump the raw miss trace to this file")
-		in    = flag.String("i", "", "analyse an existing trace file instead of simulating")
+		bench    = flag.String("bench", "", "SPEC2000 benchmark to trace")
+		n        = flag.Uint64("n", 1_000_000, "measured instructions")
+		warm     = flag.Uint64("warmup", 2_000_000, "warmup instructions")
+		fidelity = flag.String("warmup-fidelity", "full", "warmup engine: full (cycle-accurate) or fast (functional fast-forward, docs/FASTFORWARD.md)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		out      = flag.String("o", "", "dump the raw miss trace to this file")
+		in       = flag.String("i", "", "analyse an existing trace file instead of simulating")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file")
@@ -76,6 +78,11 @@ func run() int {
 	)
 	flag.Parse()
 
+	fid, err := sim.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcptrace: -warmup-fidelity:", err)
+		return 2
+	}
 	if *statusAddr != "" && *bench == "" {
 		fmt.Fprintln(os.Stderr, "tcptrace: -status-addr requires -bench (only a live simulation has metrics to serve)")
 		return 2
@@ -150,7 +157,16 @@ func run() int {
 			defer srv.Close()
 		}
 		core := cpu.New(cpu.Config{}, mem)
-		core.RunMeasured(workload.New(spec, *seed), *warm, *n, func(int64) { cap.armed = true })
+		gen := workload.New(spec, *seed)
+		arm := func(int64) { cap.armed = true }
+		if fid == sim.FidelityFast {
+			// The warmup misses only train the profiler's armed==false tap,
+			// so the functional engine reproduces the measured trace exactly
+			// (docs/FASTFORWARD.md).
+			core.RunMeasuredFast(gen, *warm, *n, arm)
+		} else {
+			core.RunMeasured(gen, *warm, *n, arm)
+		}
 		if cap.err != nil {
 			fmt.Fprintln(os.Stderr, "tcptrace: write:", cap.err)
 			return 1

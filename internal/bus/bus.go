@@ -58,6 +58,20 @@ func (b *Bus) Transfer(now int64, n int) int64 {
 // FreeAt returns the first cycle at which the bus will be idle.
 func (b *Bus) FreeAt() int64 { return b.freeAt }
 
+// Quiesce discards any queue backlog by clamping the next-idle time to at
+// most now. The functional fast-forward warmup advances one cycle per
+// instruction, so queueing computed against that compressed clock
+// compounds into a backlog far beyond the clock itself — an artifact of
+// the fictitious clock, not simulated contention. The warmup/measure
+// boundary quiesces the buses so the cycle-accurate measured window
+// starts from an idle interconnect (docs/FASTFORWARD.md). Activity
+// counters are untouched.
+func (b *Bus) Quiesce(now int64) {
+	if b.freeAt > now {
+		b.freeAt = now
+	}
+}
+
 // Stats summarises bus activity.
 type Stats struct {
 	Name        string

@@ -385,6 +385,30 @@ func (c *Cache) Occupancy() int {
 }
 
 // Reset invalidates all lines and clears statistics.
+// Quiesce settles in-flight fill timing: every valid line's ReadyAt and
+// FilledAt are clamped to at most now. Contents, recency order, and
+// statistics are untouched — only future timestamps move, so hits after
+// now no longer stall on fills scheduled under a different clock. The
+// fast-forward warmup boundary uses this to keep functional-clock fill
+// times from leaking stalls into the cycle-accurate measured window
+// (docs/FASTFORWARD.md).
+func (c *Cache) Quiesce(now int64) {
+	for _, set := range c.sets {
+		for i := range set {
+			ln := &set[i]
+			if !ln.Valid {
+				continue
+			}
+			if ln.ReadyAt > now {
+				ln.ReadyAt = now
+			}
+			if ln.FilledAt > now {
+				ln.FilledAt = now
+			}
+		}
+	}
+}
+
 func (c *Cache) Reset() {
 	for _, set := range c.sets {
 		for i := range set {

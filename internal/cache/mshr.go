@@ -7,21 +7,43 @@ import "tagprefetch/internal/addr"
 // a block that is already in flight merge into the existing entry instead of
 // issuing a second request. When the file is full, further misses must stall
 // until an entry retires.
+//
+// Alongside the lookup map the file keeps a min-heap of (block, ReadyAt)
+// pairs, so the full-file stall path (EarliestReady + ReleaseBefore) costs
+// O(log n) instead of two map scans. The heap is lazily pruned: Remove
+// leaves its pair behind as a tombstone, dropped when it surfaces at the
+// top or during a periodic compaction. A pair is live iff the map still
+// holds its block with the same ReadyAt — ReadyAt never changes between
+// Allocate and retirement except under Quiesce, which rebuilds the heap,
+// so the pair identifies one allocation generation.
 type MSHRFile struct {
 	capacity int
-	pending  map[uint64]*MSHR // keyed by block ID
+	pending  map[uint64]*MSHR // keyed by block ID, pointing into pool
+	pool     []MSHR           // fixed backing store, one frame per entry
+	free     []int32          // indexes of unoccupied pool frames
+	ready    []mshrReady      // min-heap on readyAt, may hold stale pairs
 
 	merges    uint64
 	allocs    uint64
 	fullStall uint64
 }
 
-// MSHR is one in-flight miss.
+// MSHR is one in-flight miss. Entries live in the file's fixed pool, so
+// pointers returned by Lookup/Allocate are only valid while the entry is
+// in flight.
 type MSHR struct {
 	Block    uint64 // block ID
 	ReadyAt  int64  // cycle the fill completes
 	Demands  int    // number of demand accesses merged into this miss
 	Prefetch bool   // initiated by a prefetch (no demand yet)
+
+	slot int32 // pool frame index
+}
+
+// mshrReady is one heap pair; see the MSHRFile doc for the staleness rule.
+type mshrReady struct {
+	block   uint64
+	readyAt int64
 }
 
 // NewMSHRFile creates a file with the given capacity (must be positive).
@@ -29,7 +51,23 @@ func NewMSHRFile(capacity int) *MSHRFile {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &MSHRFile{capacity: capacity, pending: make(map[uint64]*MSHR, capacity)}
+	f := &MSHRFile{
+		capacity: capacity,
+		pending:  make(map[uint64]*MSHR, capacity),
+		pool:     make([]MSHR, capacity),
+		free:     make([]int32, 0, capacity),
+		ready:    make([]mshrReady, 0, 2*capacity),
+	}
+	f.refillFree()
+	return f
+}
+
+// refillFree marks every pool frame unoccupied.
+func (f *MSHRFile) refillFree() {
+	f.free = f.free[:0]
+	for i := f.capacity - 1; i >= 0; i-- {
+		f.free = append(f.free, int32(i))
+	}
 }
 
 // Capacity returns the number of entries.
@@ -44,19 +82,31 @@ func (f *MSHRFile) Lookup(g addr.Geometry, a addr.Addr) (*MSHR, bool) {
 	return m, ok
 }
 
-// Remove retires the entry for block a, if any.
+// Remove retires the entry for block a, if any. Its heap pair stays behind
+// as a tombstone.
 func (f *MSHRFile) Remove(g addr.Geometry, a addr.Addr) {
-	delete(f.pending, g.BlockID(a))
+	id := g.BlockID(a)
+	if m, ok := f.pending[id]; ok {
+		delete(f.pending, id)
+		f.free = append(f.free, m.slot)
+	}
+}
+
+// live reports whether a heap pair still denotes an in-flight entry.
+func (f *MSHRFile) live(e mshrReady) bool {
+	m, ok := f.pending[e.block]
+	return ok && m.ReadyAt == e.readyAt
 }
 
 // ReleaseBefore retires every entry whose fill completed at or before now,
 // returning the number retired. The simulator calls this as time advances.
 func (f *MSHRFile) ReleaseBefore(now int64) int {
 	n := 0
-	//lint:ignore tcplint/detmap each entry is retired by an independent ReadyAt<=now predicate and only the count is returned, so iteration order cannot affect state or results
-	for k, m := range f.pending {
-		if m.ReadyAt <= now {
-			delete(f.pending, k)
+	for len(f.ready) > 0 && f.ready[0].readyAt <= now {
+		e := f.popReady()
+		if f.live(e) {
+			f.free = append(f.free, f.pending[e.block].slot)
+			delete(f.pending, e.block)
 			n++
 		}
 	}
@@ -66,19 +116,13 @@ func (f *MSHRFile) ReleaseBefore(now int64) int {
 // EarliestReady returns the soonest completion cycle among in-flight
 // entries, or 0 when the file is empty.
 func (f *MSHRFile) EarliestReady() int64 {
-	var best int64
-	first := true
-	//lint:ignore tcplint/detmap min over values is an order-independent reduction
-	for _, m := range f.pending {
-		if first || m.ReadyAt < best {
-			best = m.ReadyAt
-			first = false
+	for len(f.ready) > 0 {
+		if f.live(f.ready[0]) {
+			return f.ready[0].readyAt
 		}
+		f.popReady()
 	}
-	if first {
-		return 0
-	}
-	return best
+	return 0
 }
 
 // Allocate records a new in-flight miss for block a completing at readyAt.
@@ -100,13 +144,109 @@ func (f *MSHRFile) Allocate(g addr.Geometry, a addr.Addr, readyAt int64, prefetc
 		f.fullStall++
 		return nil, false
 	}
-	m := &MSHR{Block: id, ReadyAt: readyAt, Prefetch: prefetch}
+	slot := f.free[len(f.free)-1]
+	f.free = f.free[:len(f.free)-1]
+	m := &f.pool[slot]
+	*m = MSHR{Block: id, ReadyAt: readyAt, Prefetch: prefetch, slot: slot}
 	if !prefetch {
 		m.Demands = 1
 	}
 	f.pending[id] = m
 	f.allocs++
+	f.pushReady(mshrReady{block: id, readyAt: readyAt})
 	return m, true
+}
+
+// pushReady adds a heap pair, compacting tombstones first when they
+// dominate the heap (lazy deletion would otherwise grow it without bound
+// on workloads that retire entries via Remove and rarely stall).
+func (f *MSHRFile) pushReady(e mshrReady) {
+	if len(f.ready) >= 2*f.capacity && len(f.ready) >= 2*len(f.pending) {
+		f.compactReady()
+	}
+	f.ready = append(f.ready, e)
+	i := len(f.ready) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if f.ready[p].readyAt <= f.ready[i].readyAt {
+			break
+		}
+		f.ready[p], f.ready[i] = f.ready[i], f.ready[p]
+		i = p
+	}
+}
+
+// popReady removes and returns the minimum pair; the heap must be
+// non-empty.
+func (f *MSHRFile) popReady() mshrReady {
+	top := f.ready[0]
+	last := len(f.ready) - 1
+	f.ready[0] = f.ready[last]
+	f.ready = f.ready[:last]
+	f.siftDown(0)
+	return top
+}
+
+// siftDown restores the heap property below index i.
+func (f *MSHRFile) siftDown(i int) {
+	n := len(f.ready)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && f.ready[l].readyAt < f.ready[min].readyAt {
+			min = l
+		}
+		if r < n && f.ready[r].readyAt < f.ready[min].readyAt {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		f.ready[i], f.ready[min] = f.ready[min], f.ready[i]
+		i = min
+	}
+}
+
+// compactReady drops every tombstone and re-heapifies the survivors. It
+// walks the heap slice (not the map), so iteration is deterministic.
+func (f *MSHRFile) compactReady() {
+	keep := f.ready[:0]
+	for _, e := range f.ready {
+		if f.live(e) {
+			keep = append(keep, e)
+		}
+	}
+	f.ready = keep
+	for i := len(f.ready)/2 - 1; i >= 0; i-- {
+		f.siftDown(i)
+	}
+}
+
+// Quiesce clamps every in-flight entry's completion cycle to at most max
+// and rebuilds the ready heap to match. Entries stay in flight — merges
+// against them keep their semantics — but none completes later than max,
+// bounding post-clamp stalls and merge windows. The fast-forward warmup
+// boundary uses this with max = boundary + the worst-case fill latency:
+// in-flight fills scheduled under the functional clock retire on the same
+// horizon the cycle-accurate engine would give its own boundary
+// stragglers, instead of at backlogged functional-clock times
+// (docs/FASTFORWARD.md). The rebuild walks the fixed pool in frame order,
+// so it is deterministic.
+func (f *MSHRFile) Quiesce(max int64) {
+	f.ready = f.ready[:0]
+	for i := range f.pool {
+		m := &f.pool[i]
+		if f.pending[m.Block] != m {
+			continue // unoccupied frame
+		}
+		if m.ReadyAt > max {
+			m.ReadyAt = max
+		}
+		f.ready = append(f.ready, mshrReady{block: m.Block, readyAt: m.ReadyAt})
+	}
+	for i := len(f.ready)/2 - 1; i >= 0; i-- {
+		f.siftDown(i)
+	}
 }
 
 // MSHRStats summarises MSHR activity.
@@ -124,5 +264,7 @@ func (f *MSHRFile) Stats() MSHRStats {
 // Reset clears all entries and statistics.
 func (f *MSHRFile) Reset() {
 	f.pending = make(map[uint64]*MSHR, f.capacity)
+	f.refillFree()
+	f.ready = f.ready[:0]
 	f.merges, f.allocs, f.fullStall = 0, 0, 0
 }

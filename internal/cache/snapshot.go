@@ -110,8 +110,10 @@ func (f *MSHRFile) Restore(r *checkpoint.Reader) error {
 		return fmt.Errorf("mshr: checkpoint holds %d entries, capacity %d", n, f.capacity)
 	}
 	f.pending = make(map[uint64]*MSHR, f.capacity)
+	f.refillFree()
+	f.ready = f.ready[:0]
 	for i := 0; i < n; i++ {
-		m := &MSHR{
+		e := MSHR{
 			Block:    r.U64(),
 			ReadyAt:  r.I64(),
 			Demands:  r.Int(),
@@ -120,7 +122,12 @@ func (f *MSHRFile) Restore(r *checkpoint.Reader) error {
 		if r.Err() != nil {
 			break
 		}
-		f.pending[m.Block] = m
+		slot := f.free[len(f.free)-1]
+		f.free = f.free[:len(f.free)-1]
+		e.slot = slot
+		f.pool[slot] = e
+		f.pending[e.Block] = &f.pool[slot]
+		f.pushReady(mshrReady{block: e.Block, readyAt: e.ReadyAt})
 	}
 	return r.Err()
 }

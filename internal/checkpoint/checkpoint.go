@@ -30,7 +30,10 @@ const (
 	// Magic identifies a checkpoint file ("TCPC" in little-endian order).
 	Magic uint32 = 0x43504354
 	// Version is the current format version. Readers reject any other.
-	Version uint16 = 1
+	// History: 1 = initial layout; 2 = machine identity records the warmup
+	// fidelity and the cpu section carries the functional fast-forward
+	// clock (docs/FASTFORWARD.md).
+	Version uint16 = 2
 
 	headerLen  = 8 // magic u32 + version u16 + flags u16
 	trailerLen = 4 // crc32 u32

@@ -134,6 +134,11 @@ type TCP struct {
 	pht     []phtEntry // PHTSets * PHTWays
 	clock   int64
 
+	// reqs is the scratch buffer OnMiss returns; per the Prefetcher
+	// contract the slice is only valid until the next call, so reusing the
+	// backing array keeps the per-miss path allocation-free.
+	reqs []prefetch.Request
+
 	ctr counters
 	tr  *telemetry.Tracer // never nil; telemetry.Nop() when disabled
 }
@@ -307,8 +312,14 @@ func (t *TCP) phtAllocate(setIdx uint64, lastTag uint64) *phtEntry {
 		t.tr.Emit(telemetry.Event{Cycle: t.clock, Type: "pht.evict",
 			Level: telemetry.LevelDebug, Addr: set[victim].tag, Value: int64(setIdx)})
 	}
-	set[victim] = phtEntry{tag: lastTag & t.tagMask, valid: true}
-	return &set[victim]
+	// Reinitialise in place, keeping the targets backing array so retraining
+	// the recycled entry does not reallocate.
+	v := &set[victim]
+	v.tag = lastTag & t.tagMask
+	v.valid = true
+	v.used = 0
+	v.targets = v.targets[:0]
+	return v
 }
 
 // OnMiss implements prefetch.Prefetcher: the update and lookup operations
@@ -342,7 +353,7 @@ func (t *TCP) OnMiss(m trace.Miss) []prefetch.Request {
 
 	// Lookup: predict the successor of the new sequence.
 	t.ctr.lookups.Inc()
-	var reqs []prefetch.Request
+	reqs := t.reqs[:0]
 	setIdx := t.phtIndex(row, m.Index)
 	if e := t.phtProbe(setIdx, m.Tag); e != nil && len(e.targets) > 0 {
 		e.used = t.clock
@@ -368,6 +379,7 @@ func (t *TCP) OnMiss(m trace.Miss) []prefetch.Request {
 			}
 		}
 	}
+	t.reqs = reqs
 	return reqs
 }
 
@@ -412,14 +424,20 @@ func hasTarget(reqs []prefetch.Request, a addr.Addr) bool {
 // the storage accounting, mirroring how a real implementation would store
 // only the bits needed to rebuild an address within the reachable region.
 func (t *TCP) train(e *phtEntry, successor uint64) {
-	out := make([]uint64, 0, t.cfg.Targets)
-	out = append(out, successor)
-	for _, s := range e.targets {
-		if s != successor && len(out) < t.cfg.Targets {
-			out = append(out, s)
+	// MRU-move in place: [successor] followed by the remaining targets in
+	// their previous order, capped at Targets, without reallocating.
+	for i, s := range e.targets {
+		if s == successor {
+			copy(e.targets[1:i+1], e.targets[:i])
+			e.targets[0] = successor
+			return
 		}
 	}
-	e.targets = out
+	if len(e.targets) < t.cfg.Targets {
+		e.targets = append(e.targets, 0)
+	}
+	copy(e.targets[1:], e.targets)
+	e.targets[0] = successor
 }
 
 // OnAccess implements prefetch.Prefetcher (TCP only observes misses).

@@ -187,6 +187,11 @@ type Core struct {
 	warmed  bool   // MarkWarmBoundary has been called
 	warmRes Result // counters at the warm boundary (valid when warmed)
 
+	// functional fast-forward state (atomic.go): while fastActive, the
+	// pipeline above is untouched and time is the functional clock.
+	fastActive bool
+	fclock     int64 // functional cycle: one per fast-forwarded instruction
+
 	// telemetry (optional; nil fields are skipped on the hot path)
 	instrCtr *telemetry.Counter
 	cycleCtr *telemetry.Counter
@@ -212,6 +217,8 @@ func (c *Core) reset() {
 	c.done = 0
 	c.warmed = false
 	c.warmRes = Result{}
+	c.fastActive = false
+	c.fclock = 0
 }
 
 // SetOnLoadRetire installs (or clears) the load-retirement hook on a core
@@ -301,8 +308,9 @@ func newPipeline(cfg Config, mem Memory, pred branch.Predictor) *pipeline {
 // readiness, issue/execute, in-order commit — accumulating stall and event
 // counters into res. i is the dynamic instruction index.
 //
-//tcp:hotpath — runs once per simulated instruction; tcplint's hotalloc
 // keeps it free of allocation, fmt, and interface boxing.
+//
+//tcp:hotpath — runs once per simulated instruction; tcplint's hotalloc
 func (p *pipeline) step(i uint64, inst *workload.Inst, res *Result) {
 	cfg := &p.cfg
 
@@ -423,8 +431,14 @@ func (p *pipeline) step(i uint64, inst *workload.Inst, res *Result) {
 // Done returns the number of dynamic instructions processed since reset.
 func (c *Core) Done() uint64 { return c.done }
 
-// Cycle returns the commit cycle of the most recently committed instruction.
-func (c *Core) Cycle() int64 { return c.p.lastCommit }
+// Cycle returns the commit cycle of the most recently committed
+// instruction — the functional clock while fast-forwarding.
+func (c *Core) Cycle() int64 {
+	if c.fastActive {
+		return c.fclock
+	}
+	return c.p.lastCommit
+}
 
 // Warmed reports whether MarkWarmBoundary has been called.
 func (c *Core) Warmed() bool { return c.warmed }
@@ -435,6 +449,9 @@ func (c *Core) Warmed() bool { return c.warmed }
 // the one-shot run loop, so an advance split at any point is bit-identical to
 // an unsplit one. A target at or below the current position is a no-op.
 func (c *Core) AdvanceTo(gen workload.Generator, target uint64) {
+	if c.fastActive && c.done < target {
+		panic("cpu: AdvanceTo during fast-forward; call SealFastForward (or MarkWarmBoundary) first")
+	}
 	var inst workload.Inst
 	for c.done < target {
 		i := c.done
@@ -451,8 +468,11 @@ func (c *Core) AdvanceTo(gen workload.Generator, target uint64) {
 // MarkWarmBoundary snapshots the cumulative counters at the current position
 // so Finish can report the measured window only, and invokes onBoundary (if
 // non-nil) with the boundary commit cycle — callers snapshot memory-system
-// statistics and mark sampling phases there.
+// statistics and mark sampling phases there. A core that fast-forwarded the
+// warmup is sealed first, so the boundary cycle is the functional clock and
+// the measured window runs cycle-accurate from it.
 func (c *Core) MarkWarmBoundary(onBoundary func(cycle int64)) {
+	c.SealFastForward()
 	c.warmRes = c.res
 	c.warmRes.Instructions = c.done
 	c.warmRes.Cycles = c.p.lastCommit
@@ -484,11 +504,14 @@ func (c *Core) Finish() Result {
 // "skip the first 1 billion instructions ... then simulate 2 billion"
 // methodology. onBoundary, if non-nil, is invoked when the warmup portion
 // has been processed, with the commit cycle at the boundary (callers
-// snapshot memory-system statistics and mark sampling phases there).
+// snapshot memory-system statistics and mark sampling phases there). The
+// boundary is marked whenever warmup > 0 — a zero-length measure window
+// still fires onBoundary and reports an empty measured Result, rather
+// than mislabelling the warmup window as measured.
 func (c *Core) RunMeasured(gen workload.Generator, warmup, measure uint64, onBoundary func(cycle int64)) Result {
 	c.reset()
 	n := warmup + measure
-	if warmup > 0 && measure > 0 {
+	if warmup > 0 {
 		c.AdvanceTo(gen, warmup)
 		c.MarkWarmBoundary(onBoundary)
 	}

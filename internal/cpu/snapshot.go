@@ -58,6 +58,13 @@ func (c *Core) Save(w *checkpoint.Writer) error {
 	w.I64(p.lastCommit)
 	w.I64(p.fetchResume)
 
+	// Functional fast-forward state (atomic.go): whether the core is still
+	// in the functional phase, and its clock. Both are zero for cores that
+	// never fast-forwarded, and for sealed ones only the mode flag matters
+	// (the clock already flowed into the pipeline cursors above).
+	w.Bool(c.fastActive)
+	w.I64(c.fclock)
+
 	w.String(c.pred.Name())
 	s, ok := c.pred.(checkpoint.Snapshotter)
 	if !ok {
@@ -92,9 +99,16 @@ func (c *Core) Restore(r *checkpoint.Reader) error {
 	commitSlots := r.Int()
 	p.lastCommit = r.I64()
 	p.fetchResume = r.I64()
+	fastActive := r.Bool()
+	fclock := r.I64()
 	if err := r.Err(); err != nil {
 		return err
 	}
+	if fclock < 0 {
+		return fmt.Errorf("cpu: checkpoint functional clock %d negative", fclock)
+	}
+	c.fastActive = fastActive
+	c.fclock = fclock
 	if memCount < 0 {
 		return fmt.Errorf("cpu: checkpoint LSQ count %d negative", memCount)
 	}

@@ -36,6 +36,11 @@ type Options struct {
 	// Jobs is the simulation worker-pool width used when Runner is nil:
 	// 0 (default) uses all available cores, 1 runs strictly serially.
 	Jobs int
+	// WarmupFidelity selects the engine used for the warmup window
+	// (sim.Config.WarmupFidelity): sim.FidelityFull (the default, and what
+	// the zero value means) runs it cycle-accurately; sim.FidelityFast
+	// fast-forwards it functionally (docs/FASTFORWARD.md).
+	WarmupFidelity sim.Fidelity
 	// BaselineWarmup runs every grid point's warmup under the no-prefetch
 	// baseline (sim.Config.BaselineWarmup), which lets the runner warm each
 	// benchmark once, checkpoint at the warmup/measure boundary, and fork
@@ -70,7 +75,7 @@ func (o Options) withDefaults() Options {
 
 func (o Options) simConfig() sim.Config {
 	return sim.Config{Instructions: o.Instructions, Warmup: o.Warmup, Seed: o.Seed,
-		BaselineWarmup: o.BaselineWarmup}
+		WarmupFidelity: o.WarmupFidelity, BaselineWarmup: o.BaselineWarmup}
 }
 
 // Table1 renders the simulated machine configuration (paper Table 1).

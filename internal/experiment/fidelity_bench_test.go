@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"testing"
+
+	"tagprefetch/internal/sim"
+)
+
+// BenchmarkGridFidelity measures the end-to-end wall clock of one
+// experiment grid — one benchmark across the Figure 13 PHT ladder — at the
+// default warmup (2M instructions) and measured window (1M), under the
+// workflows the warmup-fidelity knob enables (docs/FASTFORWARD.md):
+//
+//   - full:          the seed workflow — every job runs its own
+//     cycle-accurate, self-trained warmup.
+//   - fast:          every job runs its own functional warmup; the measured
+//     window stays cycle-accurate.
+//   - full+warmfork: one cycle-accurate baseline warmup per benchmark,
+//     checkpointed at the boundary and forked into every config.
+//   - fast+warmfork: the composed mode — one functional baseline warmup per
+//     benchmark, forked into every config. This is the >=2x end-to-end
+//     configuration versus the seed workflow.
+//
+// The runner is serial (one worker) so the numbers compare total simulation
+// work, not scheduling.
+func BenchmarkGridFidelity(b *testing.B) {
+	fs := []sim.Factory{
+		sim.TCPWithPHT(2<<10, 0, false),
+		sim.TCP8K(),
+		sim.TCPWithPHT(32<<10, 0, false),
+		sim.TCPWithPHT(128<<10, 0, false),
+		sim.TCPWithPHT(512<<10, 0, false),
+		sim.TCP8M(),
+	}
+	benches := []string{"swim"}
+	for _, tc := range []struct {
+		name string
+		fid  sim.Fidelity
+		fork bool
+	}{
+		{"full", sim.FidelityFull, false},
+		{"fast", sim.FidelityFast, false},
+		{"full+warmfork", sim.FidelityFull, true},
+		{"fast+warmfork", sim.FidelityFast, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := sim.Config{Instructions: 1_000_000, Warmup: 2_000_000, Seed: 1,
+				WarmupFidelity: tc.fid, BaselineWarmup: tc.fork}
+			for i := 0; i < b.N; i++ {
+				// A fresh runner per iteration: the warm-image and baseline
+				// caches must not carry between timed runs.
+				NewRunner(1).Map(GridJobs(benches, fs, cfg))
+			}
+		})
+	}
+}

@@ -22,13 +22,16 @@ const gridManifestName = "grid.json"
 // one grid can never be silently mixed into the output of a different one
 // (changed flags, a different benchmark list, another sweep id).
 type GridDesc struct {
-	Tool         string   `json:"tool"`
-	Experiment   string   `json:"experiment"`
-	Instructions uint64   `json:"instructions"`
-	Warmup       uint64   `json:"warmup"`
-	Seed         uint64   `json:"seed"`
-	Benches      []string `json:"benches"`
-	WarmFork     bool     `json:"warm_fork"`
+	Tool         string `json:"tool"`
+	Experiment   string `json:"experiment"`
+	Instructions uint64 `json:"instructions"`
+	Warmup       uint64 `json:"warmup"`
+	// WarmupFidelity records the warmup engine ("full" or "fast"); the empty
+	// string in pre-fidelity grid manifests means "full".
+	WarmupFidelity string   `json:"warmup_fidelity,omitempty"`
+	Seed           uint64   `json:"seed"`
+	Benches        []string `json:"benches"`
+	WarmFork       bool     `json:"warm_fork"`
 }
 
 // ReadGrid reads the grid descriptor recorded in a checkpoint directory.
@@ -118,6 +121,15 @@ func EnsureGrid(dir string, d GridDesc, replace bool) error {
 	return compareGrids(dir, have, d)
 }
 
+// normFidelity maps the empty string (pre-fidelity manifests, and callers
+// that never set the knob) to the default engine name.
+func normFidelity(s string) string {
+	if s == "" {
+		return "full"
+	}
+	return s
+}
+
 func compareGrids(dir string, have, want GridDesc) error {
 	mismatch := func(field, h, w string) error {
 		return &GridMismatchError{Dir: dir, Field: field, Have: h, Want: w}
@@ -133,6 +145,12 @@ func compareGrids(dir string, have, want GridDesc) error {
 	}
 	if have.Warmup != want.Warmup {
 		return mismatch("warmup", fmt.Sprint(have.Warmup), fmt.Sprint(want.Warmup))
+	}
+	// Pre-fidelity manifests omit the field; treat absence as "full" so old
+	// directories keep resuming under the default engine.
+	if normFidelity(have.WarmupFidelity) != normFidelity(want.WarmupFidelity) {
+		return mismatch("warmup_fidelity",
+			normFidelity(have.WarmupFidelity), normFidelity(want.WarmupFidelity))
 	}
 	if have.Seed != want.Seed {
 		return mismatch("seed", fmt.Sprint(have.Seed), fmt.Sprint(want.Seed))

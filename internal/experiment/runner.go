@@ -144,6 +144,7 @@ type baselineKey struct {
 	warmup         uint64
 	noWarmup       bool
 	baselineWarmup bool
+	fidelity       sim.Fidelity
 	seed           uint64
 	cpu            cpuKey
 	mem            memsys.Config
@@ -175,6 +176,7 @@ func baselineKeyFor(j Job) (key baselineKey, ok bool) {
 		warmup:         c.Warmup,
 		noWarmup:       c.NoWarmup,
 		baselineWarmup: c.BaselineWarmup,
+		fidelity:       c.WarmupFidelity,
 		seed:           c.Seed,
 		cpu:            cpuKeyFor(c.CPU),
 		mem:            c.Mem.WithDefaults(),

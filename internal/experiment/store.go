@@ -86,6 +86,12 @@ func jobFile(bench, factory string, baseline bool, c sim.Config) (string, bool) 
 	fmt.Fprintf(h, "%s|%s|%v|%d|%d|%v|%d|%v|%+v|%+v",
 		bench, factory, baseline, n.Instructions, n.Warmup, n.NoWarmup, n.Seed,
 		n.BaselineWarmup, cpuKeyFor(n.CPU), n.Mem.WithDefaults())
+	// The fidelity joins the hash only when non-default, so default-mode
+	// manifest names match pre-fidelity builds and old result directories
+	// keep resuming.
+	if n.WarmupFidelity != sim.FidelityFull {
+		fmt.Fprintf(h, "|fid=%s", n.WarmupFidelity)
+	}
 	return fmt.Sprintf("job-%016x.json", h.Sum64()), true
 }
 

@@ -31,6 +31,7 @@ type warmKey struct {
 	bench    string
 	warmup   uint64
 	noWarmup bool
+	fidelity sim.Fidelity
 	seed     uint64
 	cpu      cpuKey
 	mem      memsys.Config
@@ -58,6 +59,7 @@ func warmKeyFor(bench string, c sim.Config) (warmKey, bool) {
 		bench:    bench,
 		warmup:   n.Warmup,
 		noWarmup: n.NoWarmup,
+		fidelity: n.WarmupFidelity,
 		seed:     n.Seed,
 		cpu:      cpuKeyFor(n.CPU),
 		mem:      n.Mem.WithDefaults(),
@@ -70,6 +72,12 @@ func warmFileName(key warmKey) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%d|%v|%d|%+v|%+v",
 		key.bench, key.warmup, key.noWarmup, key.seed, key.cpu, key.mem)
+	// Non-default fidelity joins the hash so a fast image can never shadow a
+	// full one; the default keeps the pre-fidelity name so existing warm
+	// checkpoints stay addressable.
+	if key.fidelity != sim.FidelityFull {
+		fmt.Fprintf(h, "|fid=%s", key.fidelity)
+	}
 	return fmt.Sprintf("warm-%s-%016x.ckpt", key.bench, h.Sum64())
 }
 

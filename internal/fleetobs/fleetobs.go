@@ -152,15 +152,17 @@ type jobInfo struct {
 }
 
 // Scan observes dir once and computes a snapshot. A nil clock selects
-// distrib.System. A directory that does not exist is an error; an empty
-// one is an empty (zero-job) snapshot.
+// distrib.System. A directory that does not exist yet — the sweep was
+// launched but no worker has created it — yields an empty (zero-job)
+// snapshot rather than an error, so status endpoints stay up during
+// bootstrap; any other read failure is an error.
 func Scan(dir string, clock distrib.Clock) (*FleetSnapshot, error) {
 	if clock == nil {
 		clock = distrib.System
 	}
 	now := clock.Now()
 	entries, err := os.ReadDir(dir)
-	if err != nil {
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return nil, err
 	}
 

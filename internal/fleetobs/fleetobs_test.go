@@ -65,8 +65,26 @@ func TestScanEmptyDir(t *testing.T) {
 }
 
 func TestScanMissingDir(t *testing.T) {
-	if _, err := fleetobs.Scan(filepath.Join(t.TempDir(), "absent"), nil); err == nil {
-		t.Error("Scan on missing dir: want error")
+	// A sweep that was just launched has no checkpoint directory yet; the
+	// scan must report an empty fleet, not an error, so status endpoints
+	// stay up during bootstrap.
+	dir := filepath.Join(t.TempDir(), "absent")
+	snap, err := fleetobs.Scan(dir, distrib.NewManualClock(1))
+	if err != nil {
+		t.Fatalf("Scan on missing dir: %v", err)
+	}
+	if snap.Total != 0 || snap.Done != 0 || len(snap.Jobs) != 0 || len(snap.Workers) != 0 {
+		t.Errorf("missing-dir snapshot = %+v, want zero jobs and workers", snap)
+	}
+	if snap.States != (fleetobs.StateCounts{}) {
+		t.Errorf("States = %+v, want all zero", snap.States)
+	}
+	if snap.CompletionPct != 0 || snap.ETANS != 0 || snap.Grid != nil {
+		t.Errorf("derived fields not zero: pct=%v eta=%d grid=%v",
+			snap.CompletionPct, snap.ETANS, snap.Grid)
+	}
+	if snap.Dir != dir {
+		t.Errorf("Dir = %q, want %q", snap.Dir, dir)
 	}
 }
 

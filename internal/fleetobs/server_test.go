@@ -70,6 +70,45 @@ func TestServerStatusAndMetrics(t *testing.T) {
 	}
 }
 
+// Regression: /status on a server pointed at a checkpoint directory that
+// does not exist yet (sweep launched, no worker has created it) must serve
+// a 200 with an empty snapshot, not a 500.
+func TestServerStatusBeforeBootstrap(t *testing.T) {
+	dir := t.TempDir() + "/not-created-yet"
+	srv := fleetobs.NewServer(dir, distrib.NewManualClock(1), 0)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatalf("GET /status: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/status = %d, want 200 during bootstrap", resp.StatusCode)
+	}
+	var snap fleetobs.FleetSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/status did not decode as FleetSnapshot: %v", err)
+	}
+	if snap.Total != 0 || snap.Done != 0 || len(snap.Jobs) != 0 {
+		t.Errorf("bootstrap snapshot = %+v, want zero jobs", snap)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics = %d, want 200 during bootstrap", mresp.StatusCode)
+	}
+	if body := readAll(t, mresp); !strings.Contains(body, "tcp_fleet_jobs_total 0") {
+		t.Errorf("/metrics missing zero jobs gauge:\n%s", body)
+	}
+}
+
 func TestServerAddMetrics(t *testing.T) {
 	dir := t.TempDir()
 	srv := fleetobs.NewServer(dir, distrib.NewManualClock(1), 0)

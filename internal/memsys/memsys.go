@@ -569,6 +569,37 @@ func (m *MemSys) BusStats(horizon int64) (bus.Stats, bus.Stats) {
 	return m.l1Bus.Stats(horizon), m.memBus.Stats(horizon)
 }
 
+// Quiesce settles timing state left behind by a functional fast-forward
+// warmup, at boundary cycle now. The functional clock advances one cycle
+// per instruction — far faster than the cycle-accurate pipeline — so bus
+// queueing and fill completions computed against it sit at fictitious
+// future times that would otherwise stall the measured window's first
+// accesses for the difference between the two clocks.
+//
+// Buses and settled cache lines clamp flat to the boundary (an idle
+// interconnect, all past fills visible). In-flight MSHR entries clamp to
+// boundary + the worst-case cycle-accurate fill latency instead of
+// retiring outright: the cycle-accurate engine reaches its own boundary
+// with up to a full MSHR file of stragglers that keep merging demands for
+// a short horizon, and the merge path decides cache *contents* (a merge
+// suppresses the refill), so cutting those windows to zero would perturb
+// demand hit/miss streams, not just timing (docs/FASTFORWARD.md).
+func (m *MemSys) Quiesce(now int64) {
+	// Raw latency of a full miss path — L1 detect, both bus crossings of
+	// one block, L2 array, memory array — with queueing bounded by the
+	// same transfer terms again.
+	blk := int64(m.cfg.L1D.BlockBytes())
+	horizon := m.cfg.L1HitLatency + m.cfg.L2Latency + m.cfg.MemLatency + 4*blk
+	m.l1Bus.Quiesce(now)
+	if m.pfBus != nil {
+		m.pfBus.Quiesce(now)
+	}
+	m.memBus.Quiesce(now)
+	m.mshr.Quiesce(now + horizon)
+	m.l1d.Quiesce(now)
+	m.l2.Quiesce(now)
+}
+
 // Reset clears all state and statistics.
 func (m *MemSys) Reset() {
 	m.l1d.Reset()

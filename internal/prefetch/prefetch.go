@@ -27,7 +27,10 @@ type Prefetcher interface {
 	// Name identifies the scheme (used in experiment tables).
 	Name() string
 	// OnMiss is invoked for every L1 demand miss and returns the prefetch
-	// requests to issue (possibly none).
+	// requests to issue (possibly none). The returned slice may alias a
+	// scratch buffer owned by the prefetcher: it is valid only until the
+	// next OnMiss/OnAccess call, and callers must consume (or copy) it
+	// before invoking the prefetcher again.
 	OnMiss(m trace.Miss) []Request
 	// OnAccess is invoked for every L1 demand access, hit or miss, and may
 	// also return prefetch requests. Most schemes ignore it; dead-block

@@ -122,13 +122,22 @@ func (m *Machine) Total() uint64 { return m.cfg.Warmup + m.cfg.Instructions }
 // component attachment, statistics snapshots, the sampler phase mark — runs
 // only when the advance crosses it, so RunTo(warmup) leaves the machine in
 // the pre-boundary state that warm-fork checkpoints capture.
+//
+// The engine is picked per phase: with Config.WarmupFidelity == FidelityFast
+// the warmup window runs on the functional fast-forward engine and the core
+// is sealed at the boundary (inside MarkWarmBoundary), so the measured
+// window always runs cycle-accurate regardless of fidelity.
 func (m *Machine) RunTo(target uint64) {
 	w, n := m.cfg.Warmup, m.Total()
 	if target > n {
 		target = n
 	}
 	if t := min(target, w); m.core.Done() < t {
-		m.core.AdvanceTo(m.gen, t)
+		if m.cfg.WarmupFidelity == FidelityFast {
+			m.core.FastForwardTo(m.gen, t)
+		} else {
+			m.core.AdvanceTo(m.gen, t)
+		}
 	}
 	if target > w && w > 0 && !m.core.Warmed() {
 		m.boundary()
@@ -145,6 +154,13 @@ func (m *Machine) Run() Result {
 func (m *Machine) boundary() {
 	m.attachParked()
 	m.core.MarkWarmBoundary(func(cycle int64) {
+		if m.cfg.WarmupFidelity == FidelityFast {
+			// The warmup ran on the functional clock; settle its leftover
+			// future timestamps so the cycle-accurate measured window does
+			// not inherit fictitious stalls (see memsys.Quiesce). Runs
+			// before the stats snapshot, though it moves no counters.
+			m.mem.Quiesce(cycle)
+		}
 		m.memAtBoundary = m.mem.Stats()
 		m.l1AtBoundary = m.mem.L1Stats()
 		m.l2AtBoundary = m.mem.L2Stats()
@@ -269,6 +285,11 @@ func (m *Machine) Save(w *checkpoint.Writer) error {
 	w.String(m.spec.Name)
 	w.U64(m.cfg.Seed)
 	w.U64(m.cfg.Warmup)
+	// The warmup fidelity is identity: the machine state along a fast
+	// warmup trajectory is not the state along a full one (pipeline clocks
+	// differ pre-boundary, cycle-trained components diverge), so an image
+	// may only be restored into a machine configured for the same engine.
+	w.String(string(m.cfg.WarmupFidelity))
 	w.U64(m.core.Done())
 	for _, g := range [...]addr.Geometry{m.memCfg.L1D, m.memCfg.L2} {
 		w.Int(g.SizeBytes())
@@ -302,6 +323,20 @@ func (m *Machine) Save(w *checkpoint.Writer) error {
 	return nil
 }
 
+// FidelityMismatchError is the typed error Restore returns when a
+// checkpoint image recorded under one warmup fidelity is restored into a
+// machine configured for another. Crossing fidelities silently would make
+// the continued run's results belong to neither engine: the image's
+// machine state was shaped by the engine that produced it.
+type FidelityMismatchError struct {
+	Checkpoint, Machine Fidelity
+}
+
+func (e *FidelityMismatchError) Error() string {
+	return fmt.Sprintf("sim: checkpoint recorded under %q warmup fidelity, machine configured for %q",
+		e.Checkpoint, e.Machine)
+}
+
 // Restore implements checkpoint.Snapshotter. The machine must be freshly
 // constructed (nothing run yet) from the same benchmark, seed, warmup and
 // cache geometries as the saver; a post-boundary checkpoint attaches the
@@ -316,6 +351,7 @@ func (m *Machine) Restore(r *checkpoint.Reader) error {
 	name := r.String()
 	seed := r.U64()
 	warmup := r.U64()
+	fidelity := Fidelity(r.String())
 	done := r.U64()
 	var geo [6]int
 	for i := range geo {
@@ -334,6 +370,9 @@ func (m *Machine) Restore(r *checkpoint.Reader) error {
 	}
 	if warmup != m.cfg.Warmup {
 		return fmt.Errorf("sim: checkpoint warmup %d, machine warmup %d", warmup, m.cfg.Warmup)
+	}
+	if fidelity != m.cfg.WarmupFidelity {
+		return &FidelityMismatchError{Checkpoint: fidelity, Machine: m.cfg.WarmupFidelity}
 	}
 	want := [6]int{
 		m.memCfg.L1D.SizeBytes(), m.memCfg.L1D.Ways(), m.memCfg.L1D.BlockBytes(),

@@ -38,6 +38,18 @@ type Config struct {
 	// Seed drives all pseudo-random workload choices (default 1).
 	Seed uint64
 
+	// WarmupFidelity selects the execution engine for the warmup window:
+	// FidelityFull (the default, and the zero value) runs the cycle-accurate
+	// pipeline end to end, preserving every previously recorded result
+	// byte-for-byte; FidelityFast runs the warmup on the functional
+	// fast-forward engine — exact per-access cache, MSHR-occupancy,
+	// branch-predictor and prefetcher training with no per-cycle pipeline
+	// bookkeeping — and switches to the cycle-accurate engine at the
+	// warmup/measure boundary. docs/FASTFORWARD.md documents precisely
+	// which measured-window counters this preserves, to what tolerance,
+	// and which are fidelity-dependent.
+	WarmupFidelity Fidelity
+
 	// BaselineWarmup runs the warmup window under the no-prefetch baseline
 	// — the prefetcher, dead-block predictor and criticality trainer are
 	// parked and attach at the warmup/measure boundary. Every config then
@@ -75,7 +87,34 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.WarmupFidelity == "" {
+		c.WarmupFidelity = FidelityFull
+	}
 	return c
+}
+
+// Fidelity names an execution engine for the warmup phase of a run.
+type Fidelity string
+
+const (
+	// FidelityFull runs the warmup on the cycle-accurate out-of-order
+	// pipeline, exactly as the measured window runs.
+	FidelityFull Fidelity = "full"
+	// FidelityFast runs the warmup on the functional fast-forward engine
+	// (internal/cpu's atomic mode; see docs/FASTFORWARD.md).
+	FidelityFast Fidelity = "fast"
+)
+
+// ParseFidelity resolves a -warmup-fidelity flag value. The empty string
+// selects FidelityFull, mirroring Config's zero-value default.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch Fidelity(s) {
+	case "", FidelityFull:
+		return FidelityFull, nil
+	case FidelityFast:
+		return FidelityFast, nil
+	}
+	return "", fmt.Errorf("unknown warmup fidelity %q (want %q or %q)", s, FidelityFull, FidelityFast)
 }
 
 // Factory names and builds a prefetcher configuration for a given L1.

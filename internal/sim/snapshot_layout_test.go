@@ -25,6 +25,8 @@ func layoutConfigs() []struct {
 	base := Config{Instructions: 1_000, Warmup: 2_000, Seed: 1}
 	withSampler := base
 	withSampler.Telemetry = telemetry.NewRun(500)
+	fastWarm := base
+	fastWarm.WarmupFidelity = FidelityFast
 	return []struct {
 		label string
 		f     Factory
@@ -42,6 +44,7 @@ func layoutConfigs() []struct {
 		{"nextline", NextLine(), base},
 		{"tcp-8K+cf", WithCriticalFilter(TCP8K()), base},
 		{"none+sampler", NoPrefetch(), withSampler},
+		{"tcp-8K+fastwarm", TCP8K(), fastWarm},
 	}
 }
 

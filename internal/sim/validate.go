@@ -80,5 +80,9 @@ func (c Config) Validate() error {
 		return &ConfigError{Field: "Warmup",
 			Reason: fmt.Sprintf("warmup %d + instructions %d overflows", n.Warmup, n.Instructions)}
 	}
+	if n.WarmupFidelity != FidelityFull && n.WarmupFidelity != FidelityFast {
+		return &ConfigError{Field: "WarmupFidelity",
+			Reason: fmt.Sprintf("unknown fidelity %q (want %q or %q)", n.WarmupFidelity, FidelityFull, FidelityFast)}
+	}
 	return nil
 }
