@@ -1,0 +1,112 @@
+// Baseline support: a committed JSON inventory of tolerated findings.
+// `-write-baseline` records the current findings; `-baseline` then
+// filters matching findings out of later runs. A baseline entry whose
+// finding no longer fires is itself a failure — the fix must be
+// accompanied by a regenerated (shrunk) baseline, so the committed file
+// never overstates the debt and silently re-admits regressions.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+
+	"tagprefetch/internal/analysis"
+)
+
+// A baselineEntry identifies tolerated findings by analyzer, file, and
+// message; count copes with the same message firing on several lines.
+// Line numbers are deliberately excluded so unrelated edits do not churn
+// the file.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// A baselineFile is the committed document.
+type baselineFile struct {
+	Comment string          `json:"comment"`
+	Entries []baselineEntry `json:"entries"`
+}
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// saveBaseline writes the findings to path as a sorted baseline document.
+func saveBaseline(path string, diags []analysis.Diagnostic) error {
+	counts := make(map[baselineKey]int)
+	var order []baselineKey
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, d.Pos.Filename, d.Message}
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	doc := baselineFile{
+		Comment: "tolerated tcplint findings; regenerate with `go run ./cmd/tcplint -write-baseline " + path + " ./...` whenever an entry is fixed",
+		Entries: []baselineEntry{},
+	}
+	for _, k := range order { // diags arrive sorted, so order is stable
+		doc.Entries = append(doc.Entries, baselineEntry{
+			Analyzer: k.analyzer, File: k.file, Message: k.message, Count: counts[k],
+		})
+	}
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// applyBaseline splits findings into those not covered by the baseline
+// (kept) plus synthetic findings for baseline entries that no longer
+// fire (stale).
+func applyBaseline(path string, diags []analysis.Diagnostic) (kept, stale []analysis.Diagnostic, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("baseline: %w", err)
+	}
+	var doc baselineFile
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	budget := make(map[baselineKey]int, len(doc.Entries))
+	for _, e := range doc.Entries {
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, d.Pos.Filename, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range doc.Entries {
+		left := budget[baselineKey{e.Analyzer, e.File, e.Message}]
+		if left <= 0 {
+			continue
+		}
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] = 0
+		stale = append(stale, analysis.Diagnostic{
+			Pos:      positionIn(e.File),
+			Analyzer: baselineCheck,
+			Message: fmt.Sprintf("stale baseline entry: [%s] %q fired %d time(s) fewer than recorded; regenerate the baseline with -write-baseline so the fix sticks",
+				e.Analyzer, e.Message, left),
+		})
+	}
+	return kept, stale, nil
+}
+
+// positionIn fabricates a file-level position for synthetic findings.
+func positionIn(file string) (p token.Position) {
+	p.Filename = file
+	p.Line = 1
+	p.Column = 1
+	return p
+}

@@ -1,0 +1,120 @@
+// Suggested-fix application: `-fix` rewrites the tree in place, `-diff`
+// prints the same rewrites as a unified diff without touching anything.
+// Both are driven by the byte-offset Edits analyzers attach to findings,
+// so applying is a pure splice with no position re-resolution; running
+// -fix on an already-fixed tree is a no-op by construction.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tagprefetch/internal/analysis"
+)
+
+// applyFixes gathers every edit carried by the findings, prints a
+// unified diff per touched file, and (when write is set) rewrites the
+// files.
+func applyFixes(root string, diags []analysis.Diagnostic, write bool, out *os.File) error {
+	perFile := make(map[string][]analysis.Edit)
+	seen := make(map[analysis.Edit]bool)
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			if seen[e] { // two findings may propose the identical repair
+				continue
+			}
+			seen[e] = true
+			perFile[e.File] = append(perFile[e.File], e)
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	for _, file := range files {
+		abs := file
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(root, filepath.FromSlash(file))
+		}
+		old, err := os.ReadFile(abs)
+		if err != nil {
+			return fmt.Errorf("fix: %w", err)
+		}
+		fixed, err := splice(old, perFile[file])
+		if err != nil {
+			return fmt.Errorf("fix %s: %w", file, err)
+		}
+		printDiff(out, file, string(old), string(fixed))
+		if write {
+			if err := os.WriteFile(abs, fixed, 0o644); err != nil {
+				return fmt.Errorf("fix: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// splice applies byte-offset edits to content, rejecting overlaps so a
+// half-applied file can never be written.
+func splice(content []byte, edits []analysis.Edit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start < edits[j].Start
+		}
+		return edits[i].End < edits[j].End
+	})
+	var out []byte
+	prev := 0
+	for _, e := range edits {
+		if e.Start < prev || e.End < e.Start || e.End > len(content) {
+			return nil, fmt.Errorf("conflicting edit at byte %d", e.Start)
+		}
+		out = append(out, content[prev:e.Start]...)
+		out = append(out, e.New...)
+		prev = e.End
+	}
+	out = append(out, content[prev:]...)
+	return out, nil
+}
+
+// printDiff emits one minimal unified-diff hunk covering the changed
+// region: common leading and trailing lines are trimmed, what differs is
+// printed in full.
+func printDiff(out *os.File, file, old, fixed string) {
+	if old == fixed {
+		return
+	}
+	a := strings.SplitAfter(old, "\n")
+	b := strings.SplitAfter(fixed, "\n")
+	lead := 0
+	for lead < len(a) && lead < len(b) && a[lead] == b[lead] {
+		lead++
+	}
+	trail := 0
+	for trail < len(a)-lead && trail < len(b)-lead && a[len(a)-1-trail] == b[len(b)-1-trail] {
+		trail++
+	}
+	fmt.Fprintf(out, "--- a/%s\n+++ b/%s\n", file, file)
+	fmt.Fprintf(out, "@@ -%d,%d +%d,%d @@\n", lead+1, len(a)-lead-trail, lead+1, len(b)-lead-trail)
+	for _, line := range a[lead : len(a)-trail] {
+		fmt.Fprintf(out, "-%s", ensureNL(line))
+	}
+	for _, line := range b[lead : len(b)-trail] {
+		fmt.Fprintf(out, "+%s", ensureNL(line))
+	}
+}
+
+func ensureNL(s string) string {
+	if strings.HasSuffix(s, "\n") {
+		return s
+	}
+	return s + "\n"
+}

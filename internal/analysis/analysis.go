@@ -4,10 +4,10 @@
 //
 // The repo cannot vendor x/tools (the build is fully offline), so this
 // package re-implements the subset the tcplint suite needs — single-package
-// analyzers, position-accurate diagnostics, and suppression comments — on
-// top of the standard library. The API is shaped after x/tools so analyzers
-// can migrate to the real framework mechanically if the dependency ever
-// lands.
+// analyzers, position-accurate diagnostics, suppression comments, typed
+// cross-package facts (facts.go), and suggested fixes — on top of the
+// standard library. The API is shaped after x/tools so analyzers can
+// migrate to the real framework mechanically if the dependency ever lands.
 //
 // # Suppression comments
 //
@@ -20,6 +20,16 @@
 // without one does not suppress, and instead produces its own diagnostic,
 // so every silenced finding carries an auditable reason. The check list may
 // be "all" to silence every tcplint analyzer on that line.
+//
+// # Suite runs
+//
+// A driver that runs several analyzers over several packages builds one
+// Suppressions index per package (shared by every analyzer's pass, so
+// usage accumulates) and one Facts store per walk (shared by every pass,
+// so facts flow from dependencies to importers), then creates passes with
+// NewSuitePass. After the walk, Suppressions.Stale reports ignore comments
+// that no longer silence anything — stale suppressions rot into blanket
+// exemptions if left behind.
 package analysis
 
 import (
@@ -33,11 +43,31 @@ import (
 
 // An Analyzer is one static check. Name is the identifier used in
 // diagnostics and suppression comments; Doc is the help text shown by
-// `tcplint -list`.
+// `tcplint -list`. FactTypes declares the fact types the analyzer may
+// export or import (see facts.go); analyzers without cross-package state
+// leave it nil.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	FactTypes []Fact
+}
+
+// An Edit is one textual change of a suggested fix, expressed as a byte
+// range in a file plus replacement text, so a driver can apply it without
+// re-resolving positions.
+type Edit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"` // byte offset, inclusive
+	End   int    `json:"end"`   // byte offset, exclusive; == Start for pure insertion
+	New   string `json:"new"`
+}
+
+// A SuggestedFix is a machine-applicable resolution for a diagnostic,
+// applied by `tcplint -fix`.
+type SuggestedFix struct {
+	Message string `json:"message"`
+	Edits   []Edit `json:"edits"`
 }
 
 // A Diagnostic is one finding, positioned in the analyzed package.
@@ -45,6 +75,7 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fix      *SuggestedFix // nil when no mechanical fix exists
 }
 
 // String renders the diagnostic in the canonical file:line:col form.
@@ -60,7 +91,8 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	suppress map[suppressKey]*suppression
+	suppress *Suppressions
+	facts    *Facts
 	diags    []Diagnostic
 }
 
@@ -74,6 +106,16 @@ type suppression struct {
 	reason string
 	pos    token.Position
 	used   bool
+	ran    map[string]bool // analyzers whose pass consulted this index
+	warned bool            // missing-justification diagnostic already emitted
+}
+
+// Suppressions indexes one package's //lint:ignore comments. One index is
+// shared by every analyzer's pass over the package, so "used" and "ran"
+// accumulate across the whole suite and Stale can tell a dead comment from
+// one whose analyzer simply did not run.
+type Suppressions struct {
+	m map[suppressKey]*suppression
 }
 
 // ignorePrefix introduces a suppression comment.
@@ -82,56 +124,44 @@ const ignorePrefix = "//lint:ignore "
 // checkPrefix namespaces this suite's analyzers in suppression comments.
 const checkPrefix = "tcplint/"
 
-// NewPass builds a Pass for one analyzer over a typechecked package,
-// indexing suppression comments by the line they apply to.
-func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
-	p := &Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       pkg,
-		TypesInfo: info,
-		suppress:  make(map[suppressKey]*suppression),
-	}
-	for _, f := range files {
-		p.indexSuppressions(f)
-	}
-	return p
-}
-
-// indexSuppressions records each //lint:ignore comment under the source
+// IndexSuppressions records each //lint:ignore comment under the source
 // line it governs: its own line for a trailing comment, the following line
 // for a comment that stands alone.
-func (p *Pass) indexSuppressions(f *ast.File) {
-	codeLines := p.codeLines(f)
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			text := c.Text
-			if !strings.HasPrefix(text, ignorePrefix) {
-				continue
+func IndexSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	idx := &Suppressions{m: make(map[suppressKey]*suppression)}
+	for _, f := range files {
+		codeLines := codeLines(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				checks, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				s := &suppression{
+					checks: strings.Split(checks, ","),
+					reason: strings.TrimSpace(reason),
+					pos:    pos,
+					ran:    make(map[string]bool),
+				}
+				line := pos.Line
+				if !codeLines[line] {
+					line++ // standalone comment governs the next line
+				}
+				idx.m[suppressKey{pos.Filename, line}] = s
 			}
-			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
-			checks, reason, _ := strings.Cut(rest, " ")
-			pos := p.Fset.Position(c.Pos())
-			s := &suppression{
-				checks: strings.Split(checks, ","),
-				reason: strings.TrimSpace(reason),
-				pos:    pos,
-			}
-			line := pos.Line
-			if !codeLines[line] {
-				line++ // standalone comment governs the next line
-			}
-			p.suppress[suppressKey{pos.Filename, line}] = s
 		}
 	}
+	return idx
 }
 
 // codeLines returns the set of lines holding at least one non-comment
 // token, so a suppression comment can tell whether it trails code or
 // stands alone. Every code token starts some AST node, so marking node
 // start/end lines covers all of them.
-func (p *Pass) codeLines(f *ast.File) map[int]bool {
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
 	lines := make(map[int]bool)
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n.(type) {
@@ -140,26 +170,106 @@ func (p *Pass) codeLines(f *ast.File) map[int]bool {
 		case *ast.Comment, *ast.CommentGroup:
 			return false // doc comments are attached to decls; not code
 		}
-		lines[p.Fset.Position(n.Pos()).Line] = true
-		lines[p.Fset.Position(n.End()).Line] = true
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
 		return true
 	})
 	return lines
 }
 
+// A StaleSuppression is an ignore comment that silenced nothing during a
+// full suite run: either the finding it excused was fixed (delete the
+// comment) or it names a check that does not exist.
+type StaleSuppression struct {
+	Pos    token.Position
+	Checks []string
+	Reason string
+}
+
+// Stale returns the suppressions that no analyzer used, provided every
+// analyzer they name actually ran on the package (known maps valid
+// analyzer names; a comment naming an unknown check is always stale).
+// Results are sorted by position.
+func (sup *Suppressions) Stale(known map[string]bool) []StaleSuppression {
+	var out []StaleSuppression
+	for _, s := range sup.m {
+		if s.used {
+			continue
+		}
+		provable := true
+		for _, c := range s.checks {
+			name := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c), checkPrefix))
+			if name == "all" {
+				continue // "all" is judged by whatever ran
+			}
+			if known[name] && !s.ran[name] {
+				provable = false // its analyzer never looked; can't call it stale
+				break
+			}
+		}
+		if provable {
+			out = append(out, StaleSuppression{Pos: s.pos, Checks: s.checks, Reason: s.reason})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
+// NewPass builds a self-contained Pass for one analyzer over one
+// typechecked package, with private suppression and fact stores. Tests
+// and single-analyzer runs use this; drivers running a suite use
+// NewSuitePass so state is shared.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	return NewSuitePass(a, fset, files, pkg, info, NewFacts(), IndexSuppressions(fset, files))
+}
+
+// NewSuitePass builds a Pass wired into a suite run: facts is the store
+// shared across the whole dependency walk, supp the suppression index
+// shared by every analyzer's pass over this package.
+func NewSuitePass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *Facts, supp *Suppressions) *Pass {
+	for _, s := range supp.m {
+		s.ran[a.Name] = true
+	}
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		suppress:  supp,
+		facts:     facts,
+	}
+}
+
 // Reportf records a diagnostic at pos unless a justified suppression
 // comment covers that line for this analyzer. An ignore comment matching
 // the analyzer but missing a justification reports its own diagnostic (once
-// per comment per analyzer) and does not suppress.
+// per comment) and does not suppress.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportFix is Reportf with an attached suggested fix, applied by
+// `tcplint -fix`. A nil fix is allowed and equivalent to Reportf.
+func (p *Pass) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.report(pos, fix, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if s, ok := p.suppress[suppressKey{position.Filename, position.Line}]; ok && s.matches(p.Analyzer.Name) {
+	if s, ok := p.suppress.m[suppressKey{position.Filename, position.Line}]; ok && s.matches(p.Analyzer.Name) {
 		if s.reason != "" {
 			s.used = true
 			return
 		}
-		if !s.used {
-			s.used = true
+		if !s.warned {
+			s.warned = true
 			p.diags = append(p.diags, Diagnostic{
 				Pos:      position,
 				Analyzer: p.Analyzer.Name,
@@ -171,7 +281,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
+}
+
+// InsertAt builds a pure-insertion Edit at pos.
+func (p *Pass) InsertAt(pos token.Pos, text string) Edit {
+	position := p.Fset.Position(pos)
+	return Edit{File: position.Filename, Start: position.Offset, End: position.Offset, New: text}
 }
 
 func (s *suppression) matches(analyzer string) bool {
@@ -216,6 +333,15 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package
 	pass := NewPass(a, fset, files, pkg, info)
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return pass.Diagnostics(), nil
+}
+
+// RunPass executes one analyzer over an already-built pass and returns its
+// surviving diagnostics.
+func RunPass(pass *Pass) ([]Diagnostic, error) {
+	if err := pass.Analyzer.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", pass.Analyzer.Name, err)
 	}
 	return pass.Diagnostics(), nil
 }

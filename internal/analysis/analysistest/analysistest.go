@@ -37,25 +37,33 @@ import (
 // Run analyzes each fixture package under dir/src (dir is usually
 // "testdata") and reports mismatches against the // want expectations as
 // test errors.
+//
+// The packages share one fact store and may import each other by their
+// fixture path (list a dependency before its importer), so cross-package
+// fact propagation is testable entirely inside testdata.
 func Run(t *testing.T, a *analysis.Analyzer, dir string, pkgs ...string) {
 	t.Helper()
+	fset := token.NewFileSet()
+	facts := analysis.NewFacts()
+	imp := newFixtureImporter(fset)
 	for _, pkg := range pkgs {
-		runOne(t, a, filepath.Join(dir, "src", pkg), pkg)
+		runOne(t, a, fset, facts, imp, filepath.Join(dir, "src", pkg), pkg)
 	}
 }
 
-func runOne(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+func runOne(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, facts *analysis.Facts, imp *fixtureImporter, dir, pkgPath string) {
 	t.Helper()
-	fset := token.NewFileSet()
 	files, err := parseDir(fset, dir)
 	if err != nil {
 		t.Fatalf("%s: %v", pkgPath, err)
 	}
-	pkg, info, err := typecheck(fset, files, pkgPath)
+	pkg, info, err := typecheck(fset, files, pkgPath, imp)
 	if err != nil {
 		t.Fatalf("%s: typecheck: %v", pkgPath, err)
 	}
-	diags, err := analysis.Run(a, fset, files, pkg, info)
+	imp.local[pkgPath] = pkg
+	pass := analysis.NewSuitePass(a, fset, files, pkg, info, facts, analysis.IndexSuppressions(fset, files))
+	diags, err := analysis.RunPass(pass)
 	if err != nil {
 		t.Fatalf("%s: %v", pkgPath, err)
 	}
@@ -84,28 +92,20 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	return files, nil
 }
 
-// typecheck typechecks the fixture, resolving its imports through export
-// data listed by the go command at the module root.
-func typecheck(fset *token.FileSet, files []*ast.File, pkgPath string) (*types.Package, *types.Info, error) {
+// typecheck typechecks the fixture, resolving its imports through the
+// Run-wide importer so package identities are shared across fixtures.
+func typecheck(fset *token.FileSet, files []*ast.File, pkgPath string, imp *fixtureImporter) (*types.Package, *types.Info, error) {
 	imports := make(map[string]bool)
 	for _, f := range files {
-		for _, imp := range f.Imports {
-			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+		for _, spec := range f.Imports {
+			if path, err := strconv.Unquote(spec.Path.Value); err == nil && imp.local[path] == nil {
 				imports[path] = true
 			}
 		}
 	}
-	exports, err := exportData(sortedKeys(imports))
-	if err != nil {
+	if err := imp.addExports(sortedKeys(imports)); err != nil {
 		return nil, nil, err
 	}
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		f, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("fixture imports %q, not resolved by go list", path)
-		}
-		return os.Open(f)
-	})
 	info := load.NewInfo()
 	conf := types.Config{Importer: imp}
 	pkg, err := conf.Check(pkgPath, fset, files, info)
@@ -113,6 +113,50 @@ func typecheck(fset *token.FileSet, files []*ast.File, pkgPath string) (*types.P
 		return nil, nil, err
 	}
 	return pkg, info, nil
+}
+
+// fixtureImporter resolves cross-fixture imports from the packages this
+// Run call already typechecked, delegating everything else to one shared
+// export-data importer so every fixture sees identical module packages.
+type fixtureImporter struct {
+	local    map[string]*types.Package
+	exports  map[string]string
+	fallback types.Importer
+}
+
+func newFixtureImporter(fset *token.FileSet) *fixtureImporter {
+	fi := &fixtureImporter{
+		local:   make(map[string]*types.Package),
+		exports: make(map[string]string),
+	}
+	fi.fallback = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := fi.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("fixture imports %q, not resolved by go list", path)
+		}
+		return os.Open(f)
+	})
+	return fi
+}
+
+// addExports lists paths (and their dependency closures) at the module
+// root, merging the export-data locations into the shared lookup table.
+func (fi *fixtureImporter) addExports(paths []string) error {
+	more, err := exportData(paths)
+	if err != nil {
+		return err
+	}
+	for p, f := range more {
+		fi.exports[p] = f
+	}
+	return nil
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.local[path]; ok {
+		return p, nil
+	}
+	return fi.fallback.Import(path)
 }
 
 // exportData maps each import path (plus its dependency closure) to its

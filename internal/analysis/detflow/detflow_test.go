@@ -1,0 +1,18 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"tagprefetch/internal/analysis/analysistest"
+	"tagprefetch/internal/analysis/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, detflow.Analyzer, "testdata", "a")
+}
+
+// Cross-package: sinkdep is analyzed first, exporting SinkParams and
+// TaintedReturn facts; sinkuse consumes them through the shared store.
+func TestDetflowCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, detflow.Analyzer, "testdata", "sinkdep", "sinkuse")
+}

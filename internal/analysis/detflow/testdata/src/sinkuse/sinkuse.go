@@ -1,0 +1,26 @@
+// Package sinkuse checks that detflow facts cross package boundaries:
+// sinkdep's helpers carry SinkParams and TaintedReturn facts.
+package sinkuse
+
+import (
+	"sinkdep"
+
+	"tagprefetch/internal/checkpoint"
+)
+
+// launder pushes a map key through the dependency's forwarding helper.
+func launder(w *checkpoint.Writer, m map[uint64]int) {
+	for k := range m {
+		sinkdep.Emit(w, k) // want `value derived from map iteration order flows into sinkdep\.Emit`
+	}
+}
+
+// consume encodes the dependency's tainted pick.
+func consume(w *checkpoint.Writer, m map[uint64]int) {
+	w.U64(sinkdep.Pick(m)) // want `value derived from a nondeterministically-derived result of sinkdep\.Pick flows into checkpoint\.Writer\.U64`
+}
+
+// clean passes a deterministic value through the same helper: allowed.
+func clean(w *checkpoint.Writer) {
+	sinkdep.Emit(w, 42)
+}

@@ -1,0 +1,26 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Directive scans a comment group for a //tcp:-style marker line whose
+// text starts with name (e.g. "tcp:hotpath"), returning the rest of the
+// line (the marker's argument or justification, trimmed) and whether the
+// marker was found. A nil group finds nothing.
+func Directive(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == name {
+			return "", true
+		}
+		if strings.HasPrefix(text, name+" ") {
+			return strings.TrimSpace(text[len(name):]), true
+		}
+	}
+	return "", false
+}

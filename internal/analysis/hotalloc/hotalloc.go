@@ -12,6 +12,10 @@
 // inserts, and interface boxing of non-pointer values (implicit in call
 // arguments or via explicit conversion).
 //
+// The body scan is exported as Scan so the hotprop analyzer can summarise
+// every function's allocation behaviour into cross-package facts and
+// enforce the contract transitively through the call graph.
+//
 // The checks are conservative by design — escape analysis could prove some
 // flagged sites stack-allocated — so a deliberate allocation on a hot path
 // (e.g. a slow-path spill guarded by a branch that should instead be split
@@ -21,10 +25,10 @@
 package hotalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"tagprefetch/internal/analysis"
 )
@@ -44,70 +48,89 @@ func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !isHot(fd.Doc) {
+			if !ok || fd.Body == nil || !IsHot(fd.Doc) {
 				continue
 			}
-			checkBody(pass, fd.Body)
+			for _, site := range Scan(pass.TypesInfo, pass.Pkg, fd.Body) {
+				pass.Reportf(site.Pos, "%s", site.Msg)
+			}
 		}
 	}
 	return nil
 }
 
-// isHot reports whether the doc group contains the //tcp:hotpath marker.
-func isHot(doc *ast.CommentGroup) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-		if strings.HasPrefix(text, Marker) {
-			return true
-		}
-	}
-	return false
+// IsHot reports whether the doc group contains the //tcp:hotpath marker.
+func IsHot(doc *ast.CommentGroup) bool {
+	_, ok := analysis.Directive(doc, Marker)
+	return ok
 }
 
-// checkBody walks one hot function body reporting allocation sites.
-func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+// A Site is one construct that allocates or may allocate.
+type Site struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Scan walks one function body and returns its possible allocation sites
+// in source order. It is the check behind the Analyzer, split out so other
+// analyzers (hotprop) can summarise unannotated functions.
+func Scan(info *types.Info, pkg *types.Package, body ast.Node) []Site {
+	s := &scanner{info: info, pkg: pkg}
+	s.scan(body)
+	return s.sites
+}
+
+type scanner struct {
+	info  *types.Info
+	pkg   *types.Package
+	sites []Site
+}
+
+func (s *scanner) reportf(pos token.Pos, format string, args ...any) {
+	s.sites = append(s.sites, Site{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// scan walks one hot function body recording allocation sites.
+func (s *scanner) scan(body ast.Node) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "closure literal allocates on the hot path; hoist it out of the "+
+			s.reportf(n.Pos(), "closure literal allocates on the hot path; hoist it out of the "+
 				"//tcp:hotpath function or predeclare it")
 			return false // the closure body runs through its own call sites
 		case *ast.GoStmt:
-			pass.Reportf(n.Pos(), "go statement allocates a goroutine on the hot path")
+			s.reportf(n.Pos(), "go statement allocates a goroutine on the hot path")
 		case *ast.CallExpr:
-			checkCall(pass, n)
+			s.checkCall(n)
 		case *ast.CompositeLit:
-			switch underlyingOf(pass, n).(type) {
+			switch s.underlyingOf(n).(type) {
 			case *types.Map:
-				pass.Reportf(n.Pos(), "map literal allocates on the hot path")
+				s.reportf(n.Pos(), "map literal allocates on the hot path")
 			case *types.Slice:
-				pass.Reportf(n.Pos(), "slice literal allocates on the hot path")
+				s.reportf(n.Pos(), "slice literal allocates on the hot path")
 			}
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
-					switch underlyingOf(pass, cl).(type) {
+					switch s.underlyingOf(cl).(type) {
 					case *types.Map, *types.Slice:
 						// already reported at the literal itself
 					default:
-						pass.Reportf(n.Pos(), "address-of composite literal allocates on the hot path "+
+						s.reportf(n.Pos(), "address-of composite literal allocates on the hot path "+
 							"unless escape analysis proves otherwise; reuse a preallocated value")
 					}
 				}
 			}
 		case *ast.BinaryExpr:
-			if n.Op == token.ADD && isNonConstString(pass, n) {
-				pass.Reportf(n.Pos(), "string concatenation allocates on the hot path")
+			if n.Op == token.ADD && s.isNonConstString(n) {
+				s.reportf(n.Pos(), "string concatenation allocates on the hot path")
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
-				reportMapInsert(pass, lhs)
+				s.reportMapInsert(lhs)
 			}
 		case *ast.IncDecStmt:
-			reportMapInsert(pass, n.X)
+			s.reportMapInsert(n.X)
 		}
 		return true
 	})
@@ -115,34 +138,34 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 
 // checkCall reports allocating builtins, fmt/log calls, allocating
 // conversions, and interface boxing in call arguments.
-func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
-	funTV, ok := pass.TypesInfo.Types[call.Fun]
+func (s *scanner) checkCall(call *ast.CallExpr) {
+	funTV, ok := s.info.Types[call.Fun]
 	if !ok {
 		return
 	}
 	if funTV.IsType() {
-		checkConversion(pass, call, funTV.Type)
+		s.checkConversion(call, funTV.Type)
 		return
 	}
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		if b, ok := s.info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make":
-				pass.Reportf(call.Pos(), "make allocates on the hot path; preallocate at construction")
+				s.reportf(call.Pos(), "make allocates on the hot path; preallocate at construction")
 			case "new":
-				pass.Reportf(call.Pos(), "new allocates on the hot path; preallocate at construction")
+				s.reportf(call.Pos(), "new allocates on the hot path; preallocate at construction")
 			case "append":
-				pass.Reportf(call.Pos(), "append may grow its backing array on the hot path; "+
+				s.reportf(call.Pos(), "append may grow its backing array on the hot path; "+
 					"preallocate capacity or use a fixed ring")
 			}
 			return
 		}
 	}
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+		if obj := s.info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
 			switch obj.Pkg().Path() {
 			case "fmt", "log":
-				pass.Reportf(call.Pos(), "%s.%s allocates (formatting and interface boxing) on the hot path",
+				s.reportf(call.Pos(), "%s.%s allocates (formatting and interface boxing) on the hot path",
 					obj.Pkg().Name(), obj.Name())
 				return // its ...any arguments would double-report as boxing
 			}
@@ -152,13 +175,13 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	if !ok {
 		return
 	}
-	checkBoxing(pass, call, sig)
+	s.checkBoxing(call, sig)
 }
 
 // checkBoxing flags call arguments implicitly converted from a non-pointer
 // concrete type to an interface parameter: the conversion heap-allocates
 // the value's box.
-func checkBoxing(pass *analysis.Pass, call *ast.CallExpr, sig *types.Signature) {
+func (s *scanner) checkBoxing(call *ast.CallExpr, sig *types.Signature) {
 	params := sig.Params()
 	if params.Len() == 0 {
 		return
@@ -179,32 +202,32 @@ func checkBoxing(pass *analysis.Pass, call *ast.CallExpr, sig *types.Signature) 
 		if !types.IsInterface(pt) {
 			continue
 		}
-		at := pass.TypesInfo.Types[arg]
+		at := s.info.Types[arg]
 		if at.IsNil() || at.Type == nil || types.IsInterface(at.Type) || pointerShaped(at.Type) {
 			continue
 		}
-		pass.Reportf(arg.Pos(), "passing %s as interface %s boxes the value (heap allocation) on the hot path",
-			types.TypeString(at.Type, types.RelativeTo(pass.Pkg)),
-			types.TypeString(pt, types.RelativeTo(pass.Pkg)))
+		s.reportf(arg.Pos(), "passing %s as interface %s boxes the value (heap allocation) on the hot path",
+			types.TypeString(at.Type, types.RelativeTo(s.pkg)),
+			types.TypeString(pt, types.RelativeTo(s.pkg)))
 	}
 }
 
 // checkConversion flags explicit conversions that allocate: concrete
 // non-pointer value to interface, string to byte/rune slice, and byte/rune
 // slice to string.
-func checkConversion(pass *analysis.Pass, call *ast.CallExpr, target types.Type) {
+func (s *scanner) checkConversion(call *ast.CallExpr, target types.Type) {
 	if len(call.Args) != 1 {
 		return
 	}
-	at := pass.TypesInfo.Types[call.Args[0]]
+	at := s.info.Types[call.Args[0]]
 	if at.Type == nil || at.IsNil() {
 		return
 	}
 	if types.IsInterface(target) {
 		if !types.IsInterface(at.Type) && !pointerShaped(at.Type) {
-			pass.Reportf(call.Pos(), "conversion of %s to interface %s boxes the value (heap allocation) on the hot path",
-				types.TypeString(at.Type, types.RelativeTo(pass.Pkg)),
-				types.TypeString(target, types.RelativeTo(pass.Pkg)))
+			s.reportf(call.Pos(), "conversion of %s to interface %s boxes the value (heap allocation) on the hot path",
+				types.TypeString(at.Type, types.RelativeTo(s.pkg)),
+				types.TypeString(target, types.RelativeTo(s.pkg)))
 		}
 		return
 	}
@@ -214,7 +237,7 @@ func checkConversion(pass *analysis.Pass, call *ast.CallExpr, target types.Type)
 	src := at.Type.Underlying()
 	dst := target.Underlying()
 	if isString(src) && isByteOrRuneSlice(dst) || isByteOrRuneSlice(src) && isString(dst) {
-		pass.Reportf(call.Pos(), "string/slice conversion copies and allocates on the hot path")
+		s.reportf(call.Pos(), "string/slice conversion copies and allocates on the hot path")
 	}
 }
 
@@ -246,8 +269,8 @@ func isByteOrRuneSlice(t types.Type) bool {
 }
 
 // isNonConstString reports whether e is a runtime string concatenation.
-func isNonConstString(pass *analysis.Pass, e *ast.BinaryExpr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
+func (s *scanner) isNonConstString(e *ast.BinaryExpr) bool {
+	tv, ok := s.info.Types[e]
 	if !ok || tv.Value != nil || tv.Type == nil {
 		return false
 	}
@@ -256,21 +279,21 @@ func isNonConstString(pass *analysis.Pass, e *ast.BinaryExpr) bool {
 }
 
 // reportMapInsert flags assignments through a map index expression.
-func reportMapInsert(pass *analysis.Pass, lhs ast.Expr) {
+func (s *scanner) reportMapInsert(lhs ast.Expr) {
 	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
 	if !ok {
 		return
 	}
-	if _, isMap := underlyingOf(pass, ix.X).(*types.Map); isMap {
-		pass.Reportf(lhs.Pos(), "map insert may allocate (bucket growth) on the hot path; "+
+	if _, isMap := s.underlyingOf(ix.X).(*types.Map); isMap {
+		s.reportf(lhs.Pos(), "map insert may allocate (bucket growth) on the hot path; "+
 			"use a preallocated table or a fixed-geometry structure")
 	}
 }
 
 // underlyingOf returns the underlying type of expression e, or nil when the
 // typechecker recorded none.
-func underlyingOf(pass *analysis.Pass, e ast.Expr) types.Type {
-	tv, ok := pass.TypesInfo.Types[e]
+func (s *scanner) underlyingOf(e ast.Expr) types.Type {
+	tv, ok := s.info.Types[e]
 	if !ok || tv.Type == nil {
 		return nil
 	}

@@ -1,0 +1,18 @@
+package hotprop_test
+
+import (
+	"testing"
+
+	"tagprefetch/internal/analysis/analysistest"
+	"tagprefetch/internal/analysis/hotprop"
+)
+
+func TestHotprop(t *testing.T) {
+	analysistest.Run(t, hotprop.Analyzer, "testdata", "a")
+}
+
+// Cross-package: hotdep is analyzed first, exporting AllocSummary facts;
+// hotuse consumes them through the shared store.
+func TestHotpropCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, hotprop.Analyzer, "testdata", "hotdep", "hotuse")
+}

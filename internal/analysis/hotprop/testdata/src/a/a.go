@@ -1,0 +1,61 @@
+// Package a exercises same-package hotpath propagation: hot functions may
+// not call unannotated callees that allocate, directly or transitively.
+package a
+
+// grow is an unannotated helper that allocates.
+func grow(xs []int) []int {
+	return append(xs, 1)
+}
+
+// chain reaches grow indirectly, so it inherits may-allocate.
+func chain(xs []int) []int {
+	return grow(xs)
+}
+
+// clean allocates nothing and may be called freely.
+func clean(xs []int) int {
+	return len(xs)
+}
+
+// spill is the enforced idiom: a deliberate slow path with a reason.
+//
+//tcp:coldpath runs only when the ring wraps, at most once per epoch
+func spill(xs []int) []int {
+	return append(xs, 1)
+}
+
+// badcold is missing its justification.
+//
+//tcp:coldpath
+func badcold() { // want `//tcp:coldpath marker needs a justification`
+}
+
+// confused carries both markers.
+//
+//tcp:hotpath
+//tcp:coldpath it cannot be both
+func confused() { // want `both //tcp:hotpath and //tcp:coldpath`
+}
+
+// step is the per-cycle path.
+//
+//tcp:hotpath
+func step(xs []int) []int {
+	xs = grow(xs)  // want `calls a\.grow, which may allocate \(append`
+	xs = chain(xs) // want `calls a\.chain, which may allocate \(calls a\.grow: append`
+	xs = spill(xs) // coldpath: allowed
+	_ = clean(xs)  // clean: allowed
+	return tick(xs)
+}
+
+// tick is hot too; hot→hot calls are hotalloc's job, not hotprop's, and a
+// justified suppression silences a deliberate exception.
+//
+//tcp:hotpath
+func tick(xs []int) []int {
+	if cap(xs) == len(xs) {
+		//lint:ignore tcplint/hotprop bounded to one growth per run by the cap check above
+		xs = grow(xs)
+	}
+	return xs
+}

@@ -2,10 +2,28 @@
 // depending on golang.org/x/tools/go/packages. It shells out to the go
 // command — `go list -deps -export -json` — which compiles dependencies
 // into the build cache and reports an export-data file per package, then
-// parses and typechecks the target packages from source, resolving imports
-// through those export files with the standard library's gc importer. The
-// whole pipeline is offline: it needs only the toolchain and the module
-// itself.
+// parses and typechecks packages from source, resolving imports through
+// those export files with the standard library's gc importer. The whole
+// pipeline is offline: it needs only the toolchain and the module itself.
+//
+// `go list -deps` emits packages in depth-first post-order — every
+// dependency before its importers — and Load preserves that order, so a
+// driver that walks the returned slice sees each package only after the
+// packages it imports. That ordering is what makes the analysis
+// framework's cross-package facts sound: by the time an importer is
+// analyzed, its dependencies' facts are already in the store.
+//
+// Module-internal dependencies of the requested patterns are typechecked
+// from source as well (marked DepOnly), so analyzers can compute facts
+// for them even when the caller asked for a narrow pattern; drivers
+// normally report diagnostics only for the non-DepOnly packages the
+// caller named.
+//
+// Failures are typed: a *PackageError wraps anything the go command or
+// the typechecker rejected (syntax errors, type errors, imports that
+// resolve outside the module universe), and an *ExportDataError marks an
+// import whose compiled export data the go command did not produce. Both
+// unwrap to the underlying cause; neither path panics.
 package load
 
 import (
@@ -25,15 +43,42 @@ import (
 	"strings"
 )
 
-// Package is one typechecked target package.
+// Package is one typechecked package.
 type Package struct {
-	Path  string // import path
-	Name  string
-	Dir   string
-	Fset  *token.FileSet
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path    string // import path
+	Name    string
+	Dir     string
+	DepOnly bool // loaded only as a dependency of the requested patterns
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// A PackageError reports a package the loader could not deliver: Stage is
+// "list" (the go command rejected the pattern or a package in its closure,
+// including compile errors and module-external imports), "parse", or
+// "typecheck".
+type PackageError struct {
+	ImportPath string // offending package, or the pattern when listing failed outright
+	Stage      string
+	Err        error
+}
+
+func (e *PackageError) Error() string {
+	return fmt.Sprintf("load %s: %s: %v", e.ImportPath, e.Stage, e.Err)
+}
+
+func (e *PackageError) Unwrap() error { return e.Err }
+
+// An ExportDataError reports an import that has no compiled export data in
+// the go list output, so its types cannot be resolved.
+type ExportDataError struct {
+	Path string // the import lacking export data
+}
+
+func (e *ExportDataError) Error() string {
+	return fmt.Sprintf("no export data for %q", e.Path)
 }
 
 // ListPackage is the subset of `go list -json` output the loader reads.
@@ -44,12 +89,14 @@ type ListPackage struct {
 	Export     string
 	GoFiles    []string
 	DepOnly    bool
+	Standard   bool
+	Module     *struct{ Dir string }
 	Incomplete bool
 	Error      *struct{ Err string }
 }
 
 // List runs `go list -json <args>` in dir and decodes the package stream.
-// A package with a list error aborts the whole call.
+// A package with a list error aborts the whole call with a *PackageError.
 func List(dir string, args []string) ([]*ListPackage, error) {
 	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
 	cmd.Dir = dir
@@ -57,7 +104,11 @@ func List(dir string, args []string) ([]*ListPackage, error) {
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+		return nil, &PackageError{
+			ImportPath: strings.Join(args, " "),
+			Stage:      "list",
+			Err:        fmt.Errorf("go list: %v\n%s", err, strings.TrimSpace(stderr.String())),
+		}
 	}
 	var pkgs []*ListPackage
 	dec := json.NewDecoder(&stdout)
@@ -66,10 +117,10 @@ func List(dir string, args []string) ([]*ListPackage, error) {
 		if err := dec.Decode(lp); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list: decoding output: %v", err)
+			return nil, &PackageError{Stage: "list", Err: fmt.Errorf("decoding go list output: %v", err)}
 		}
 		if lp.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+			return nil, &PackageError{ImportPath: lp.ImportPath, Stage: "list", Err: fmt.Errorf("%s", lp.Error.Err)}
 		}
 		pkgs = append(pkgs, lp)
 	}
@@ -77,9 +128,10 @@ func List(dir string, args []string) ([]*ListPackage, error) {
 }
 
 // Load lists patterns in dir (a module directory), compiles dependencies,
-// and returns every matched package typechecked from source. Packages that
-// fail to list or typecheck abort the load: the analyzers require a
-// well-typed tree, exactly like go vet.
+// and returns the matched packages — plus their module-internal
+// dependencies, marked DepOnly — typechecked from source, in dependency
+// order. Packages that fail to list or typecheck abort the load: the
+// analyzers require a well-typed tree, exactly like go vet.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -89,18 +141,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		f, ok := exports[path]
-		if !ok || f == "" {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(f)
-	})
+	imp := exportImporter(fset, exports)
 
 	var out []*Package
 	for _, lp := range pkgs {
-		if lp.DepOnly || len(lp.GoFiles) == 0 {
-			continue
+		if len(lp.GoFiles) == 0 || lp.Standard || lp.Module == nil {
+			continue // stdlib and module-external deps stay behind export data
 		}
 		p, err := typecheck(fset, imp, lp)
 		if err != nil {
@@ -109,6 +155,23 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// exportImporter resolves imports through the export-data files go list
+// reported. A missing entry surfaces as an *ExportDataError.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", exportLookup(exports))
+}
+
+// exportLookup opens the export-data file recorded for an import path.
+func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, &ExportDataError{Path: path}
+		}
+		return os.Open(f)
+	}
 }
 
 // goList runs the go command and returns the matched packages plus the
@@ -134,7 +197,7 @@ func typecheck(fset *token.FileSet, imp types.Importer, lp *ListPackage) (*Packa
 	for _, name := range lp.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+			return nil, &PackageError{ImportPath: lp.ImportPath, Stage: "parse", Err: err}
 		}
 		files = append(files, f)
 	}
@@ -145,16 +208,17 @@ func typecheck(fset *token.FileSet, imp types.Importer, lp *ListPackage) (*Packa
 	}
 	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+		return nil, &PackageError{ImportPath: lp.ImportPath, Stage: "typecheck", Err: err}
 	}
 	return &Package{
-		Path:  lp.ImportPath,
-		Name:  lp.Name,
-		Dir:   lp.Dir,
-		Fset:  fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:    lp.ImportPath,
+		Name:    lp.Name,
+		Dir:     lp.Dir,
+		DepOnly: lp.DepOnly,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
 	}, nil
 }
 

@@ -1,0 +1,122 @@
+package load
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materialises files (path → contents) under a fresh temp
+// directory with a go.mod and returns the directory.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module example.com/lintfixture\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// A package that does not compile must surface as a *PackageError, not a
+// panic or an untyped string.
+func TestLoadCompileError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"broken/broken.go": "package broken\n\nfunc f() { return undefinedName }\n",
+	})
+	_, err := Load(dir, "./broken")
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a type error")
+	}
+	var perr *PackageError
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %T (%v) is not a *PackageError", err, err)
+	}
+	if perr.Stage != "list" && perr.Stage != "typecheck" {
+		t.Errorf("stage = %q, want list or typecheck", perr.Stage)
+	}
+	if !strings.Contains(err.Error(), "undefinedName") {
+		t.Errorf("error does not mention the offending identifier: %v", err)
+	}
+}
+
+// A syntax error is caught the same way.
+func TestLoadSyntaxError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"bad/bad.go": "package bad\n\nfunc f( {\n",
+	})
+	_, err := Load(dir, "./bad")
+	var perr *PackageError
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %T (%v) is not a *PackageError", err, err)
+	}
+}
+
+// An import that resolves outside the module universe (no require, no
+// vendor, offline) must be a typed list-stage error.
+func TestLoadModuleExternalImport(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"ext/ext.go": "package ext\n\nimport _ \"example.com/no-such-module/pkg\"\n",
+	})
+	_, err := Load(dir, "./ext")
+	if err == nil {
+		t.Fatal("Load succeeded despite a module-external import")
+	}
+	var perr *PackageError
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %T (%v) is not a *PackageError", err, err)
+	}
+	if perr.Stage != "list" {
+		t.Errorf("stage = %q, want list (go list rejects the unresolved import)", perr.Stage)
+	}
+}
+
+// An import with no export data behind it must surface as a typed
+// *ExportDataError from the importer lookup.
+func TestMissingExportData(t *testing.T) {
+	_, err := exportLookup(map[string]string{})("example.com/absent")
+	var xerr *ExportDataError
+	if !errors.As(err, &xerr) {
+		t.Fatalf("error %T (%v) is not an *ExportDataError", err, err)
+	}
+	if xerr.Path != "example.com/absent" {
+		t.Errorf("Path = %q, want the missing import path", xerr.Path)
+	}
+	// An empty-string entry (go list knows the package but produced no
+	// export file) is the same failure.
+	_, err = exportLookup(map[string]string{"p": ""})("p")
+	if !errors.As(err, &xerr) {
+		t.Fatalf("empty export entry: error %T (%v) is not an *ExportDataError", err, err)
+	}
+}
+
+// Narrow patterns pull module-internal dependencies in from source,
+// marked DepOnly, ordered before their importers — the contract the fact
+// store depends on.
+func TestLoadModuleInternalDepsInOrder(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"leaf/leaf.go": "package leaf\n\n// Hot is a marker target.\nfunc Hot() int { return 1 }\n",
+		"top/top.go":   "package top\n\nimport \"example.com/lintfixture/leaf\"\n\nfunc Use() int { return leaf.Hot() }\n",
+	})
+	pkgs, err := Load(dir, "./top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (leaf as DepOnly, top)", len(pkgs))
+	}
+	if pkgs[0].Path != "example.com/lintfixture/leaf" || !pkgs[0].DepOnly {
+		t.Errorf("first package = %s (DepOnly=%v), want leaf as DepOnly", pkgs[0].Path, pkgs[0].DepOnly)
+	}
+	if pkgs[1].Path != "example.com/lintfixture/top" || pkgs[1].DepOnly {
+		t.Errorf("second package = %s (DepOnly=%v), want top, not DepOnly", pkgs[1].Path, pkgs[1].DepOnly)
+	}
+}

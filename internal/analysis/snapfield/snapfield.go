@@ -1,0 +1,471 @@
+// Package snapfield proves snapshot coverage for every type implementing
+// checkpoint.Snapshotter: each struct field must be referenced by the
+// Save method (written into the image) and by the Restore method (read
+// back), or carry an explicit exemption
+//
+//	//tcp:nosnap <why this field need not survive a checkpoint>
+//
+// on its declaration. This is the "added a field, forgot the encoder" bug
+// class: today it is caught only by the snapshot-layout golden and
+// FuzzRestore, and only when the forgotten field actually changes bytes —
+// a freshly-zero counter or a cold table slips through and silently
+// breaks the restore-and-continue bit-identity contract
+// (docs/CHECKPOINT.md).
+//
+// Coverage is judged by reference, through the static call closure inside
+// the package: a field used by a helper that Save calls counts, and a
+// field read for validation (a section label, a geometry check) counts
+// too — the analyzer proves presence, not byte equality, which stays the
+// golden test's job. A Snapshotter implemented by a promoted method is
+// treated as covering only the embedded field that provides it: the other
+// fields are invisible to the inherited encoder and are reported.
+//
+// `tcplint -fix` repairs findings mechanically: a plain scalar field gains
+// matching Save/Restore lines; anything else gains a //tcp:nosnap TODO
+// stub to be justified or serialised by hand.
+package snapfield
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tagprefetch/internal/analysis"
+)
+
+// NoSnapMarker exempts one field from snapshot coverage; a justification
+// is mandatory.
+const NoSnapMarker = "tcp:nosnap"
+
+// Analyzer proves Snapshotter field coverage.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapfield",
+	Doc: "for every checkpoint.Snapshotter, proves each struct field is written by Save and " +
+		"read by Restore (through the package call closure), or carries //tcp:nosnap <why>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	cp := findCheckpoint(pass.Pkg)
+	if cp == nil {
+		return nil // package cannot implement Snapshotter without importing checkpoint
+	}
+
+	idx := newPackageIndex(pass)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		save, saveVia := snapMethod(named, pass.Pkg, "Save", cp.writer)
+		restore, restoreVia := snapMethod(named, pass.Pkg, "Restore", cp.reader)
+		if save == nil || restore == nil {
+			continue // not a Snapshotter
+		}
+		checkType(pass, idx, named, st, coverage{save, saveVia}, coverage{restore, restoreVia})
+	}
+	return nil
+}
+
+// coverage pairs one Snapshotter method with the embedded field providing
+// it when the method is promoted (nil when declared on the type itself).
+type coverage struct {
+	method   *types.Func
+	promoted *types.Var
+}
+
+// checkType reports uncovered fields of one Snapshotter type.
+func checkType(pass *analysis.Pass, idx *packageIndex, named *types.Named, st *types.Struct, save, restore coverage) {
+	saved := idx.fieldsReachedBy(save)
+	restored := idx.fieldsReachedBy(restore)
+	tname := named.Obj().Name()
+
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if field.Name() == "_" {
+			continue
+		}
+		decl := idx.fieldDecl[field]
+		why, exempt := nosnapOf(decl)
+		inSave, inRestore := saved[field], restored[field]
+		if exempt && why == "" {
+			pass.Reportf(fieldPos(decl, field), "//tcp:nosnap needs a justification: say why %s.%s need not survive a checkpoint", tname, field.Name())
+			continue
+		}
+		switch {
+		case exempt && inSave && inRestore:
+			pass.Reportf(fieldPos(decl, field), "stale //tcp:nosnap on %s.%s: Save and Restore both reference the field, so the annotation excuses nothing; drop it", tname, field.Name())
+		case exempt:
+			// justified exclusion
+		case inSave && inRestore:
+			// covered
+		case inSave:
+			pass.ReportFix(fieldPos(decl, field), idx.restoreFix(pass, restore, field),
+				"field %s.%s is written by (*%s).Save but never read back by Restore; restored runs diverge from the saved machine", tname, field.Name(), tname)
+		case inRestore:
+			pass.ReportFix(fieldPos(decl, field), idx.saveFix(pass, save, field),
+				"field %s.%s is read by (*%s).Restore but never written by Save; the decoder will consume other fields' bytes", tname, field.Name(), tname)
+		default:
+			pass.ReportFix(fieldPos(decl, field), idx.bothFix(pass, save, restore, decl, field),
+				"field %s.%s is not serialised: (*%s).Save never writes it and Restore never reads it; encode it in both or annotate //tcp:nosnap <why>", tname, field.Name(), tname)
+		}
+	}
+}
+
+// fieldPos locates a field's diagnostic position: the declared name when
+// the AST is available, the struct definition otherwise.
+func fieldPos(decl *ast.Field, field *types.Var) token.Pos {
+	if decl != nil {
+		for _, n := range decl.Names {
+			if n.Name == field.Name() {
+				return n.Pos()
+			}
+		}
+		return decl.Pos()
+	}
+	return field.Pos()
+}
+
+// nosnapOf reads the //tcp:nosnap marker off a field declaration's doc or
+// trailing comment.
+func nosnapOf(decl *ast.Field) (string, bool) {
+	if decl == nil {
+		return "", false
+	}
+	if why, ok := analysis.Directive(decl.Doc, NoSnapMarker); ok {
+		return why, true
+	}
+	return analysis.Directive(decl.Comment, NoSnapMarker)
+}
+
+// checkpointTypes are the serialisation endpoints of the checkpoint
+// package as seen from the analyzed package's imports.
+type checkpointTypes struct {
+	writer *types.Named
+	reader *types.Named
+}
+
+// findCheckpoint locates the checkpoint package among direct imports.
+func findCheckpoint(pkg *types.Package) *checkpointTypes {
+	for _, imp := range pkg.Imports() {
+		if !strings.HasSuffix(imp.Path(), "internal/checkpoint") {
+			continue
+		}
+		w, _ := imp.Scope().Lookup("Writer").(*types.TypeName)
+		r, _ := imp.Scope().Lookup("Reader").(*types.TypeName)
+		if w == nil || r == nil {
+			continue
+		}
+		wn, _ := w.Type().(*types.Named)
+		rn, _ := r.Type().(*types.Named)
+		if wn != nil && rn != nil {
+			return &checkpointTypes{writer: wn, reader: rn}
+		}
+	}
+	return nil
+}
+
+// snapMethod resolves T's method name with signature func(*arg) error,
+// following promotion through embedded fields; promoted returns the
+// embedded field supplying the method.
+func snapMethod(named *types.Named, pkg *types.Package, name string, arg *types.Named) (*types.Func, *types.Var) {
+	obj, index, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, pkg, name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return nil, nil
+	}
+	pt, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok || pt.Elem() != arg {
+		return nil, nil
+	}
+	if n, ok := sig.Results().At(0).Type().(*types.Named); !ok || n.Obj().Name() != "error" {
+		return nil, nil
+	}
+	if len(index) > 1 {
+		if st, ok := named.Underlying().(*types.Struct); ok && index[0] < st.NumFields() {
+			return fn, st.Field(index[0])
+		}
+	}
+	return fn, nil
+}
+
+// packageIndex holds the package-wide structures coverage is judged from:
+// which fields each function references and which same-package functions
+// it calls.
+type packageIndex struct {
+	pass      *analysis.Pass
+	decls     map[*types.Func]*ast.FuncDecl
+	fieldUse  map[*types.Func]map[*types.Var]bool
+	calls     map[*types.Func][]*types.Func
+	fieldDecl map[*types.Var]*ast.Field
+}
+
+func newPackageIndex(pass *analysis.Pass) *packageIndex {
+	idx := &packageIndex{
+		pass:      pass,
+		decls:     make(map[*types.Func]*ast.FuncDecl),
+		fieldUse:  make(map[*types.Func]map[*types.Var]bool),
+		calls:     make(map[*types.Func][]*types.Func),
+		fieldDecl: make(map[*types.Var]*ast.Field),
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				if fn, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok {
+					idx.decls[fn] = n
+					idx.indexBody(fn, n.Body)
+				}
+				return false
+			case *ast.StructType:
+				idx.indexStruct(n)
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// indexStruct maps field objects to their declarations so annotations and
+// positions resolve.
+func (idx *packageIndex) indexStruct(st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 { // embedded: the type name is the implicit field name
+			if v, ok := idx.pass.TypesInfo.Defs[embeddedIdent(field.Type)].(*types.Var); ok {
+				idx.fieldDecl[v] = field
+			}
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := idx.pass.TypesInfo.Defs[name].(*types.Var); ok {
+				idx.fieldDecl[v] = field
+			}
+		}
+	}
+}
+
+// embeddedIdent unwraps an embedded field type expression to its name.
+func embeddedIdent(e ast.Expr) *ast.Ident {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t
+	case *ast.StarExpr:
+		return embeddedIdent(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel
+	}
+	return nil
+}
+
+// indexBody records fn's field references (plain uses, struct-literal
+// keys, and every field stepped through by a selection, including embedded
+// hops) and its static same-package calls.
+func (idx *packageIndex) indexBody(fn *types.Func, body *ast.BlockStmt) {
+	use := make(map[*types.Var]bool)
+	info := idx.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok && v.IsField() {
+				use[v] = true
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok {
+				markSelectionPath(use, sel)
+			}
+		case *ast.CallExpr:
+			var id *ast.Ident
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			default:
+				return true
+			}
+			if callee, ok := info.Uses[id].(*types.Func); ok && callee.Pkg() == idx.pass.Pkg {
+				idx.calls[fn] = append(idx.calls[fn], callee)
+			}
+		}
+		return true
+	})
+	idx.fieldUse[fn] = use
+}
+
+// markSelectionPath marks every field along a selection's index path, so
+// promoted accesses credit the embedded hop as well as the leaf.
+func markSelectionPath(use map[*types.Var]bool, sel *types.Selection) {
+	t := sel.Recv()
+	for _, i := range sel.Index() {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return
+		}
+		f := st.Field(i)
+		use[f] = true
+		t = f.Type()
+	}
+}
+
+// fieldsReachedBy returns the fields referenced by cov's method or any
+// same-package function it transitively calls. A promoted method covers
+// exactly the embedded field that provides it.
+func (idx *packageIndex) fieldsReachedBy(cov coverage) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	if cov.promoted != nil {
+		out[cov.promoted] = true
+		return out
+	}
+	seen := make(map[*types.Func]bool)
+	queue := []*types.Func{cov.method}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		for v := range idx.fieldUse[fn] {
+			out[v] = true
+		}
+		queue = append(queue, idx.calls[fn]...)
+	}
+	return out
+}
+
+// scalarMethod maps a plain basic field type to the matching
+// checkpoint.Writer/Reader accessor pair, for encoder-line fixes.
+func scalarMethod(t types.Type) (string, bool) {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		return "", false
+	}
+	switch b.Kind() {
+	case types.Bool:
+		return "Bool", true
+	case types.Uint8:
+		return "U8", true
+	case types.Uint16:
+		return "U16", true
+	case types.Uint32:
+		return "U32", true
+	case types.Uint64:
+		return "U64", true
+	case types.Int64:
+		return "I64", true
+	case types.Int:
+		return "Int", true
+	case types.Float64:
+		return "F64", true
+	case types.String:
+		return "String", true
+	}
+	return "", false
+}
+
+// methodNames returns the receiver and first-parameter names of a local
+// method declaration, for rendering fix text.
+func (idx *packageIndex) methodNames(fn *types.Func) (decl *ast.FuncDecl, recv, param string, ok bool) {
+	decl = idx.decls[fn]
+	if decl == nil || decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil, "", "", false
+	}
+	params := decl.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return nil, "", "", false
+	}
+	return decl, decl.Recv.List[0].Names[0].Name, params.List[0].Names[0].Name, true
+}
+
+// insertBeforeFinalReturn builds an edit adding line before the method's
+// trailing return statement; ok=false when the body has another shape.
+func insertBeforeFinalReturn(pass *analysis.Pass, decl *ast.FuncDecl, line string) (analysis.Edit, bool) {
+	stmts := decl.Body.List
+	if len(stmts) == 0 {
+		return analysis.Edit{}, false
+	}
+	last, ok := stmts[len(stmts)-1].(*ast.ReturnStmt)
+	if !ok {
+		return analysis.Edit{}, false
+	}
+	return pass.InsertAt(last.Pos(), line+"\n\t"), true
+}
+
+// saveFix builds the Save-side encoder line for a scalar field.
+func (idx *packageIndex) saveFix(pass *analysis.Pass, save coverage, field *types.Var) *analysis.SuggestedFix {
+	m, ok := scalarMethod(field.Type())
+	if !ok {
+		return nil
+	}
+	decl, recv, w, ok := idx.methodNames(save.method)
+	if !ok {
+		return nil
+	}
+	edit, ok := insertBeforeFinalReturn(pass, decl, fmt.Sprintf("%s.%s(%s.%s)", w, m, recv, field.Name()))
+	if !ok {
+		return nil
+	}
+	return &analysis.SuggestedFix{
+		Message: fmt.Sprintf("write %s in Save", field.Name()),
+		Edits:   []analysis.Edit{edit},
+	}
+}
+
+// restoreFix builds the Restore-side decoder line for a scalar field.
+func (idx *packageIndex) restoreFix(pass *analysis.Pass, restore coverage, field *types.Var) *analysis.SuggestedFix {
+	m, ok := scalarMethod(field.Type())
+	if !ok {
+		return nil
+	}
+	decl, recv, r, ok := idx.methodNames(restore.method)
+	if !ok {
+		return nil
+	}
+	edit, ok := insertBeforeFinalReturn(pass, decl, fmt.Sprintf("%s.%s = %s.%s()", recv, field.Name(), r, m))
+	if !ok {
+		return nil
+	}
+	return &analysis.SuggestedFix{
+		Message: fmt.Sprintf("read %s back in Restore", field.Name()),
+		Edits:   []analysis.Edit{edit},
+	}
+}
+
+// bothFix repairs a fully-missing field: matching encoder and decoder
+// lines for plain scalars, a //tcp:nosnap TODO stub otherwise.
+func (idx *packageIndex) bothFix(pass *analysis.Pass, save, restore coverage, decl *ast.Field, field *types.Var) *analysis.SuggestedFix {
+	if sf, rf := idx.saveFix(pass, save, field), idx.restoreFix(pass, restore, field); sf != nil && rf != nil {
+		return &analysis.SuggestedFix{
+			Message: fmt.Sprintf("serialise %s in Save and Restore", field.Name()),
+			Edits:   append(sf.Edits, rf.Edits...),
+		}
+	}
+	if decl == nil {
+		return nil
+	}
+	return &analysis.SuggestedFix{
+		Message: fmt.Sprintf("stub a //tcp:nosnap exemption for %s", field.Name()),
+		Edits:   []analysis.Edit{pass.InsertAt(decl.End(), " //"+NoSnapMarker+" TODO: justify exclusion or serialise the field")},
+	}
+}

@@ -1,0 +1,12 @@
+package snapfield_test
+
+import (
+	"testing"
+
+	"tagprefetch/internal/analysis/analysistest"
+	"tagprefetch/internal/analysis/snapfield"
+)
+
+func TestSnapfield(t *testing.T) {
+	analysistest.Run(t, snapfield.Analyzer, "testdata", "a")
+}

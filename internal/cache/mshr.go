@@ -17,11 +17,11 @@ import "tagprefetch/internal/addr"
 // Allocate and retirement except under Quiesce, which rebuilds the heap,
 // so the pair identifies one allocation generation.
 type MSHRFile struct {
-	capacity int
+	capacity int              //tcp:nosnap geometry fixed at construction; Restore validates the decoded entry count against it
 	pending  map[uint64]*MSHR // keyed by block ID, pointing into pool
-	pool     []MSHR           // fixed backing store, one frame per entry
-	free     []int32          // indexes of unoccupied pool frames
-	ready    []mshrReady      // min-heap on readyAt, may hold stale pairs
+	pool     []MSHR           //tcp:nosnap backing store rebuilt by Restore from the decoded entry list
+	free     []int32          //tcp:nosnap rebuilt by Restore from the decoded entry list
+	ready    []mshrReady      //tcp:nosnap heap rebuilt by Restore from the decoded entry list
 
 	merges    uint64
 	allocs    uint64

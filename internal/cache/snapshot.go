@@ -78,7 +78,6 @@ func (f *MSHRFile) Save(w *checkpoint.Writer) error {
 	w.U64(f.allocs)
 	w.U64(f.fullStall)
 	keys := make([]uint64, 0, len(f.pending))
-	//lint:ignore tcplint/detmap keys are collected and sorted before serialisation, so iteration order cannot reach the checkpoint image
 	for k := range f.pending {
 		keys = append(keys, k)
 	}

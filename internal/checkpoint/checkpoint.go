@@ -94,6 +94,8 @@ func (w *Writer) Write(p []byte) {
 }
 
 // grow reallocates the buffer with room for at least n more bytes.
+//
+//tcp:coldpath amortised-O(1) capacity doubling; runs once per buffer exhaustion, not per encoded value
 func (w *Writer) grow(n int) {
 	c := 2 * cap(w.buf)
 	if c < len(w.buf)+n {

@@ -124,10 +124,10 @@ func TCP8M(l1 addr.Geometry) Config {
 // TCP is the tag correlating prefetcher. Construct with New.
 type TCP struct {
 	cfg     Config
-	tagMask uint64
-	setMask uint64
-	idxMask uint32
-	hiBits  uint
+	tagMask uint64 //tcp:nosnap geometry derived from cfg at construction
+	setMask uint64 //tcp:nosnap geometry derived from cfg at construction
+	idxMask uint32 //tcp:nosnap geometry derived from cfg at construction
+	hiBits  uint   //tcp:nosnap geometry derived from cfg at construction
 
 	tht     [][]uint64 // [L1 sets][k] tag history, oldest first
 	thtFill []int      // valid tags per row
@@ -137,10 +137,12 @@ type TCP struct {
 	// reqs is the scratch buffer OnMiss returns; per the Prefetcher
 	// contract the slice is only valid until the next call, so reusing the
 	// backing array keeps the per-miss path allocation-free.
+	//
+	//tcp:nosnap scratch buffer, dead between OnMiss calls by the Prefetcher contract
 	reqs []prefetch.Request
 
 	ctr counters
-	tr  *telemetry.Tracer // never nil; telemetry.Nop() when disabled
+	tr  *telemetry.Tracer //tcp:nosnap host-side observability wiring, outside the simulated state
 }
 
 type phtEntry struct {

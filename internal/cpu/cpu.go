@@ -177,8 +177,8 @@ func (r Result) sub(w Result) Result {
 // checkpointed mid-flight, and finished with Finish. RunMeasured remains the
 // one-shot entry point and resets this state on entry.
 type Core struct {
-	cfg  Config
-	mem  Memory
+	cfg  Config //tcp:nosnap configuration supplied at construction; Restore only revalidates against it
+	mem  Memory //tcp:nosnap wiring; the memory system serialises its own state through the machine walk
 	pred branch.Predictor
 
 	p       *pipeline
@@ -193,9 +193,9 @@ type Core struct {
 	fclock     int64 // functional cycle: one per fast-forwarded instruction
 
 	// telemetry (optional; nil fields are skipped on the hot path)
-	instrCtr *telemetry.Counter
-	cycleCtr *telemetry.Counter
-	sampler  *telemetry.Sampler
+	instrCtr *telemetry.Counter //tcp:nosnap host-side observability handle, outside the simulated state
+	cycleCtr *telemetry.Counter //tcp:nosnap host-side observability handle, outside the simulated state
+	sampler  *telemetry.Sampler //tcp:nosnap host-side observability wiring; the sampler snapshots itself when registered
 }
 
 // New creates a core bound to a data-memory system.

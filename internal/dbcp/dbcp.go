@@ -60,9 +60,9 @@ func DBCP2M(l1 addr.Geometry) Config {
 
 // DBCP is the dead-block correlating prefetcher. Construct with New.
 type DBCP struct {
-	cfg     Config
-	sigMask uint64
-	setMask uint64
+	cfg     Config //tcp:nosnap configuration supplied at construction; Restore requires a same-config instance
+	sigMask uint64 //tcp:nosnap geometry derived from cfg at construction
+	setMask uint64 //tcp:nosnap geometry derived from cfg at construction
 
 	shadow []shadowEntry // one per L1 set (direct-mapped)
 	table  []corrEntry

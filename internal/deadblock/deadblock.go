@@ -43,7 +43,7 @@ func (c Config) withDefaults() Config {
 
 // Predictor is the timekeeping dead-block predictor. Construct with New.
 type Predictor struct {
-	cfg  Config
+	cfg  Config           //tcp:nosnap configuration supplied at construction; Restore only validates table bounds against it
 	live map[uint64]int64 // blockID -> last observed live time (cycles)
 	// ring holds the map's keys in insertion order; when the table is
 	// full the oldest insertion is replaced. Replacement must be
@@ -70,6 +70,8 @@ func New(cfg Config) *Predictor {
 
 // OnEvict records a completed lifetime: block a was filled at fillAt and
 // last touched at lastTouch before being evicted.
+//
+//tcp:coldpath runs per L1 eviction, not per cycle; the ring append grows only until the bounded table reaches cfg.Entries
 func (p *Predictor) OnEvict(a addr.Addr, fillAt, lastTouch int64) {
 	lt := lastTouch - fillAt
 	if lt < 0 {

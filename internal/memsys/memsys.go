@@ -182,7 +182,7 @@ func (s Stats) Sub(w Stats) Stats {
 
 // MemSys is the memory hierarchy. Construct with New.
 type MemSys struct {
-	cfg Config
+	cfg Config //tcp:nosnap configuration supplied at construction; Restore requires a same-config instance
 
 	l1d    *cache.Cache
 	l2     *cache.Cache
@@ -197,7 +197,7 @@ type MemSys struct {
 	dbp  *deadblock.Predictor // nil unless hybrid promotion is enabled
 
 	ctr counters
-	tr  *telemetry.Tracer // never nil; telemetry.Nop() when disabled
+	tr  *telemetry.Tracer //tcp:nosnap host-side observability wiring, outside the simulated state
 }
 
 // New builds the hierarchy with the given prefetcher (nil means none).
@@ -306,6 +306,8 @@ func (m *MemSys) Access(a, pc addr.Addr, write bool, now int64) int64 {
 // from Access so the hit path stays on the allocation-free fast path (the
 // miss path allocates by design: prefetcher request batches are
 // miss-local slices).
+//
+//tcp:coldpath per-miss path, not per-cycle; merging the prefetcher's request batches may grow a miss-local slice bounded by the prefetch degree
 func (m *MemSys) miss(a, pc addr.Addr, write bool, now int64) int64 {
 	// Merge with an in-flight fill of the same block. Entries are retired
 	// lazily: a completed entry found here is dropped instead of merged.

@@ -23,8 +23,8 @@ type GHB struct {
 
 	index map[uint64]int // PC -> buffer position of most recent miss
 
-	degree int
-	geom   addr.Geometry
+	degree int           //tcp:nosnap prefetch-degree configuration fixed at construction
+	geom   addr.Geometry //tcp:nosnap address geometry fixed at construction
 }
 
 type ghbEntry struct {

@@ -13,8 +13,8 @@ import (
 // appetite as the motivating cost problem for TCP (Section 1).
 type Markov struct {
 	sets    [][]markovEntry
-	setMask uint64
-	targets int
+	setMask uint64 //tcp:nosnap geometry derived from the set count at construction
+	targets int    //tcp:nosnap per-entry capacity fixed at construction; Restore validates row lengths against it
 	last    addr.Addr
 	hasLast bool
 	clock   int64

@@ -68,8 +68,8 @@ func (None) Reset() {}
 // NextLine prefetches the next Degree sequential blocks after each miss —
 // the simplest spatial prefetcher, a useful calibration floor.
 type NextLine struct {
-	geom   addr.Geometry
-	degree int
+	geom   addr.Geometry //tcp:nosnap address geometry fixed at construction
+	degree int           //tcp:nosnap prefetch-degree configuration fixed at construction
 }
 
 // NewNextLine creates a next-line prefetcher of the given degree (>=1)

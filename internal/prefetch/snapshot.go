@@ -184,7 +184,6 @@ func (p *GHB) Save(w *checkpoint.Writer) error {
 		w.U64(e.key)
 	}
 	keys := make([]uint64, 0, len(p.index))
-	//lint:ignore tcplint/detmap keys are collected and sorted before serialisation, so iteration order cannot reach the checkpoint image
 	for k := range p.index {
 		keys = append(keys, k)
 	}

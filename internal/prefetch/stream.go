@@ -11,8 +11,8 @@ import (
 // miss that matches no buffer (re)allocates the least-recently-used buffer
 // starting at the next block.
 type StreamBuffers struct {
-	geom    addr.Geometry
-	depth   int
+	geom    addr.Geometry //tcp:nosnap address geometry fixed at construction
+	depth   int           //tcp:nosnap per-buffer depth configuration fixed at construction
 	buffers []streamBuf
 	clock   int64
 }

@@ -9,10 +9,10 @@ import (
 // it tracks the last miss address and the last stride, and once the stride
 // repeats (the entry reaches the steady state) it prefetches ahead.
 type Stride struct {
-	geom    addr.Geometry
+	geom    addr.Geometry //tcp:nosnap address geometry fixed at construction
 	entries []strideEntry
-	mask    uint64
-	degree  int
+	mask    uint64 //tcp:nosnap geometry derived from the table size at construction
+	degree  int    //tcp:nosnap prefetch-degree configuration fixed at construction
 }
 
 type strideEntry struct {

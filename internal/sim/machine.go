@@ -23,22 +23,22 @@ import (
 // split and every component serialises its complete dynamic state.
 type Machine struct {
 	spec   workload.Spec
-	f      Factory
+	f      Factory       //tcp:nosnap construction wiring; Restore rebuilds parked components through it, it is not serialisable state
 	cfg    Config        // normalized
 	memCfg memsys.Config // normalized, including the hybrid prefetch bus
 
 	mem  *memsys.MemSys
 	core *cpu.Core
 	gen  workload.Generator
-	pf   prefetch.Prefetcher // the factory's prefetcher (parked or attached)
+	pf   prefetch.Prefetcher //tcp:nosnap serialised through the memsys walk when attached; Restore re-parks it from the decoded parked flag
 
 	// Components parked during a baseline warmup (Config.BaselineWarmup)
 	// and attached at the warmup/measure boundary, so every grid config
 	// shares one bit-identical warm state for warm-fork sweeps.
-	parked       bool
-	parkedAtL2   bool
-	parkedDbp    *deadblock.Predictor
-	parkedRetire func(pc uint64, critical bool)
+	parked       bool                           //tcp:nosnap re-derived by Restore from the decoded warmup phase
+	parkedAtL2   bool                           //tcp:nosnap re-derived by Restore from the decoded warmup phase
+	parkedDbp    *deadblock.Predictor           //tcp:nosnap re-parked by Restore via the factory, serialised through the memsys walk when attached
+	parkedRetire func(pc uint64, critical bool) //tcp:nosnap function wiring re-established by Restore; not serialisable
 
 	memAtBoundary              memsys.Stats
 	l1AtBoundary, l2AtBoundary cache.Stats

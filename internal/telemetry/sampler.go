@@ -9,7 +9,7 @@ package telemetry
 // safe for concurrent use; it trades locking for a two-instruction due
 // check on the hot path.
 type Sampler struct {
-	every int64
+	every int64 //tcp:nosnap sampling-interval configuration fixed at construction
 	next  int64
 
 	probes []samplerProbe
@@ -19,10 +19,10 @@ type Sampler struct {
 	values [][]float64 // values[p][i] = probe p at sample i
 
 	phases    []Phase
-	onSample  func(cycle int64, instructions uint64, values []float64)
-	maxSample int
+	onSample  func(cycle int64, instructions uint64, values []float64) //tcp:nosnap host-side callback wiring; not serialisable
+	maxSample int                                                      //tcp:nosnap capacity configuration fixed at construction
 	truncated uint64
-	scratch   []float64
+	scratch   []float64 //tcp:nosnap scratch buffer, dead between samples
 }
 
 type samplerProbe struct {

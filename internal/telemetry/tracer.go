@@ -126,6 +126,8 @@ func (t *Tracer) Emit(ev Event) {
 // emitSlow buffers ev on an enabled tracer, flushing to the sink when the
 // buffer fills. The append never grows the buffer: capacity is fixed at
 // construction and flushLocked resets the length.
+//
+//tcp:coldpath runs only on enabled tracers past the level filter; the append stays within the capacity fixed at construction
 func (t *Tracer) emitSlow(ev Event) {
 	t.mu.Lock()
 	if t.max > 0 && t.written+uint64(len(t.buf)) >= t.max {

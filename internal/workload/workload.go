@@ -196,7 +196,7 @@ type branchPattern struct {
 type synth struct {
 	spec    Spec
 	rng     *xrand.Rand
-	body    []slot
+	body    []slot //tcp:nosnap static structure rebuilt deterministically by Reset(seed); Restore only validates the decoded cursor against its length
 	streams []stream
 	branch  []branchPattern
 
