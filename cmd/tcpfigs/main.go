@@ -58,7 +58,7 @@ func run() int {
 		resume   = flag.Bool("resume", false, "answer already-completed jobs from -checkpoint-dir manifests instead of re-simulating")
 
 		workers  = flag.Int("workers", 0, "join a distributed run splitting this grid over -checkpoint-dir (the value is advisory: any number of workers may cooperate)")
-		workerID = flag.String("worker-id", "", "unique id for this worker in a distributed run (default hostname-pid; implies -workers)")
+		workerID = flag.String("worker-id", "", "unique id for this worker in a distributed run (default hostname-pid; requires -workers)")
 		leaseTTL = flag.Duration("lease-ttl", 30*time.Second, "heartbeat staleness horizon before a crashed worker's job leases may be stolen")
 		gather   = flag.Bool("gather", false, "assemble a completed distributed run from -checkpoint-dir manifests without simulating; errors if any job is missing")
 
@@ -93,6 +93,10 @@ func run() int {
 		return 2
 	}
 	workerMode := *workers > 0 || *workerID != ""
+	if err := distrib.ValidateWorkerFlags(*workers, *workerID, *leaseTTL); err != nil {
+		fmt.Fprintln(os.Stderr, "tcpfigs:", err)
+		return 2
+	}
 	switch {
 	case *resume && *ckptDir == "":
 		fmt.Fprintln(os.Stderr, "tcpfigs: -resume requires -checkpoint-dir")

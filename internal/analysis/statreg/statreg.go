@@ -56,6 +56,7 @@ var knownRoots = map[string]bool{
 	"prefetch": true,
 	"run":      true,
 	"fleet":    true,
+	"sweepd":   true,
 }
 
 // mutators lists the state-changing methods per metric kind.

@@ -40,6 +40,7 @@ func badNames(reg *telemetry.Registry) {
 func namespaces(reg *telemetry.Registry) {
 	reg.Counter("fleet.jobs.total", "known root, fully qualified")
 	reg.Gauge("memsys.l1.occupancy", "known root, fully qualified")
+	reg.Counter("sweepd.jobs.executed", "known root, fully qualified")
 	reg.Counter("flete.jobs.total", "typo'd root") // want `metric name "flete\.jobs\.total" is rooted in unknown namespace "flete"`
 	reg.Counter("cache.hits.total", "unknown root") // want `metric name "cache\.hits\.total" is rooted in unknown namespace "cache"`
 	reg.Counter("cache.hits2", "two segments: relative, not root-checked")

@@ -1,0 +1,57 @@
+package distrib
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateWorkerFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		workers  int
+		workerID string
+		ttl      time.Duration
+		wantFlag string // "" = valid
+	}{
+		{"solo defaults", 0, "", 30 * time.Second, ""},
+		{"worker mode", 3, "w1", 30 * time.Second, ""},
+		{"numeric id in range", 3, "2", 30 * time.Second, ""},
+		{"hostname id exempt from range", 2, "host-9", 30 * time.Second, ""},
+		{"workers without id (auto id)", 4, "", 30 * time.Second, ""},
+
+		{"zero ttl", 0, "", 0, "-lease-ttl"},
+		{"negative ttl", 2, "w1", -time.Second, "-lease-ttl"},
+		{"id without workers", 0, "w1", 30 * time.Second, "-worker-id"},
+		{"numeric id == workers", 3, "3", 30 * time.Second, "-worker-id"},
+		{"numeric id > workers", 3, "7", 30 * time.Second, "-worker-id"},
+		{"negative workers", -1, "", 30 * time.Second, "-workers"},
+	}
+	for _, tc := range cases {
+		err := ValidateWorkerFlags(tc.workers, tc.workerID, tc.ttl)
+		if tc.wantFlag == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected an error naming %s", tc.name, tc.wantFlag)
+			continue
+		}
+		var fe *FlagError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error is %T, want *FlagError", tc.name, err)
+			continue
+		}
+		if fe.Flag != tc.wantFlag {
+			t.Errorf("%s: error names %s, want %s", tc.name, fe.Flag, tc.wantFlag)
+		}
+		// The message must lead with the offending flag so a user can act
+		// on the first line of stderr.
+		if !strings.Contains(err.Error(), tc.wantFlag) {
+			t.Errorf("%s: message %q does not mention %s", tc.name, err, tc.wantFlag)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package experiment
+
+// Grid-point identity: every result manifest, baseline memo and daemon
+// cache entry is keyed by a content fingerprint of the job's normalized
+// configuration. The fingerprint covers exactly the inputs that shape a
+// simulation's output — benchmark, factory name, baseline flag, measured
+// and warmup windows, seed, warmup fidelity, the comparable cpu.Config
+// subset (cpuKey) and the defaulted memsys.Config — so two requests that
+// describe the same machine resolve to the same address and one simulation
+// serves both. Configs carrying behaviour the fingerprint cannot capture
+// (custom predictor instances, retirement callbacks, per-run telemetry)
+// are not content-addressable and report ok == false everywhere.
+//
+// The exported surface exists for the sweep daemon (internal/sweepd),
+// which uses point names as cache keys, and for the golden tests that pin
+// the fingerprint layout: adding, removing or reordering a fingerprinted
+// field changes every address at once, which must be a deliberate,
+// test-visible event — never a silent cache split.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"tagprefetch/internal/sim"
+)
+
+// PointFingerprint returns the canonical preimage string of one grid
+// point's content address — the exact bytes PointName hashes. It is
+// stable across processes and hosts: only the normalized configuration
+// participates, never live state. ok is false when the config is not
+// content-addressable.
+func PointFingerprint(bench, factory string, baseline bool, c sim.Config) (string, bool) {
+	return pointPreimage(bench, factory, baseline, c)
+}
+
+// PointName returns the content-addressed result-manifest filename for one
+// grid point ("job-<fnv64a>.json") — the same name the runner's
+// ResultStore publishes under and the distributed claim protocol leases,
+// so any consumer holding a PointName can look a result up, await it, or
+// schedule it. ok is false when the config is not content-addressable.
+func PointName(bench, factory string, baseline bool, c sim.Config) (string, bool) {
+	return jobFile(bench, factory, baseline, c)
+}
+
+// JobName returns the content address of a Job (PointName over its
+// fields), resolving the baseline factory name for baseline jobs.
+func JobName(j Job) (string, bool) {
+	factory := j.Factory.Name
+	if j.Baseline {
+		factory = sim.NoPrefetch().Name
+	}
+	return jobFile(j.Bench, factory, j.Baseline, j.Config)
+}
+
+// pointPreimage builds the fingerprint string both PointFingerprint and
+// the manifest-name hash consume. The layout is pinned by a golden test
+// (identity_test.go): field order, separators and the trailing
+// non-default-fidelity clause must not change without bumping every
+// existing manifest name deliberately.
+func pointPreimage(bench, factory string, baseline bool, c sim.Config) (string, bool) {
+	if c.CPU.Predictor != nil || c.CPU.OnLoadRetire != nil || c.Telemetry != nil {
+		return "", false
+	}
+	n := c.Normalized()
+	s := fmt.Sprintf("%s|%s|%v|%d|%d|%v|%d|%v|%+v|%+v",
+		bench, factory, baseline, n.Instructions, n.Warmup, n.NoWarmup, n.Seed,
+		n.BaselineWarmup, cpuKeyFor(n.CPU), n.Mem.WithDefaults())
+	// The fidelity joins the fingerprint only when non-default, so
+	// default-mode addresses match pre-fidelity builds and old result
+	// directories keep resolving.
+	if n.WarmupFidelity != sim.FidelityFull {
+		s += fmt.Sprintf("|fid=%s", n.WarmupFidelity)
+	}
+	return s, true
+}
+
+// jobFile names a job's manifest by hashing its canonical normalized
+// configuration. Jobs carrying behaviour the hash cannot capture (custom
+// predictor instances, retirement callbacks, telemetry) are not storable
+// and report ok == false.
+func jobFile(bench, factory string, baseline bool, c sim.Config) (string, bool) {
+	pre, ok := pointPreimage(bench, factory, baseline, c)
+	if !ok {
+		return "", false
+	}
+	h := fnv.New64a()
+	io.WriteString(h, pre) //nolint:errcheck // fnv never errors
+	return fmt.Sprintf("job-%016x.json", h.Sum64()), true
+}

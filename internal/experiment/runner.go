@@ -79,6 +79,10 @@ type Runner struct {
 	claims *distrib.Store
 	strict bool
 
+	// plan, when non-nil, puts the runner in job-enumeration mode (see
+	// SetPlan): jobs are recorded, never simulated.
+	plan func(Job)
+
 	baselineRuns   atomic.Uint64
 	baselineReuses atomic.Uint64
 	warmWarmups    atomic.Uint64
@@ -114,6 +118,18 @@ func (r *Runner) SetResultStore(s *ResultStore) { r.store = s }
 func (r *Runner) WarmForkStats() (warmups, forks uint64) {
 	return r.warmWarmups.Load(), r.warmForks.Load()
 }
+
+// SetPlan puts the runner in job-enumeration mode: Map records every job
+// it would execute through collect and returns zero-value results without
+// simulating, claiming, or touching the result store. Baseline
+// memoisation and warm forking are bypassed, so collect sees one call per
+// submitted job — duplicates included; dedupe on JobName. The collector
+// must be safe for concurrent use when the runner has more than one
+// worker. The sweep daemon (internal/sweepd) uses this to expand a sweep
+// request into its exact job set — running the experiment's own
+// job-construction code, so the plan can never drift from execution —
+// before scheduling only the cache misses.
+func (r *Runner) SetPlan(collect func(Job)) { r.plan = collect }
 
 // Jobs returns the pool width.
 func (r *Runner) Jobs() int { return r.workers }
@@ -196,6 +212,10 @@ func (r *Runner) Map(jobs []Job) []sim.Result {
 }
 
 func (r *Runner) run(j Job) sim.Result {
+	if r.plan != nil {
+		r.plan(j)
+		return sim.Result{}
+	}
 	if !j.Baseline {
 		if res, ok := r.store.Lookup(j.Bench, j.Factory.Name, false, j.Config); ok {
 			r.storeHits.Add(1)

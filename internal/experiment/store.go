@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 
@@ -71,28 +70,6 @@ func parseManifest(data []byte) (storedResult, error) {
 		return storedResult{}, errors.New("experiment: corrupt manifest: missing job identity")
 	}
 	return sr, nil
-}
-
-// jobFile names a job's manifest by hashing its canonical normalized
-// configuration. Jobs carrying behaviour the hash cannot capture (custom
-// predictor instances, retirement callbacks, telemetry) are not storable
-// and report ok == false.
-func jobFile(bench, factory string, baseline bool, c sim.Config) (string, bool) {
-	if c.CPU.Predictor != nil || c.CPU.OnLoadRetire != nil || c.Telemetry != nil {
-		return "", false
-	}
-	n := c.Normalized()
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%s|%v|%d|%d|%v|%d|%v|%+v|%+v",
-		bench, factory, baseline, n.Instructions, n.Warmup, n.NoWarmup, n.Seed,
-		n.BaselineWarmup, cpuKeyFor(n.CPU), n.Mem.WithDefaults())
-	// The fidelity joins the hash only when non-default, so default-mode
-	// manifest names match pre-fidelity builds and old result directories
-	// keep resuming.
-	if n.WarmupFidelity != sim.FidelityFull {
-		fmt.Fprintf(h, "|fid=%s", n.WarmupFidelity)
-	}
-	return fmt.Sprintf("job-%016x.json", h.Sum64()), true
 }
 
 // Lookup returns the stored result for a job, if the store is in resume mode

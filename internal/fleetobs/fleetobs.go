@@ -429,6 +429,44 @@ func (s *FleetSnapshot) Incomplete() []JobStatus {
 	return out
 }
 
+// Rollup aggregates the snapshot's view of a named job subset — typically
+// one sweep's job set inside a directory shared by many sweeps. Jobs
+// absent from the snapshot have left no trace on disk (no lease, flight
+// log or manifest) and count as pending. Statuses are returned in the
+// jobs argument's order, so callers control presentation without
+// re-sorting. The sweep daemon (internal/sweepd) renders its per-sweep
+// job-state rollups through this.
+func (s *FleetSnapshot) Rollup(jobs []string) (StateCounts, []JobStatus) {
+	byName := make(map[string]JobStatus, len(s.Jobs))
+	for _, js := range s.Jobs {
+		byName[js.Job] = js
+	}
+	var counts StateCounts
+	out := make([]JobStatus, 0, len(jobs))
+	for _, name := range jobs {
+		js, ok := byName[name]
+		if !ok {
+			js = JobStatus{Job: name, State: JobPending}
+		}
+		switch js.State {
+		case JobPending:
+			counts.Pending++
+		case JobClaimed:
+			counts.Claimed++
+		case JobRunning:
+			counts.Running++
+		case JobStale:
+			counts.Stale++
+		case JobStolen:
+			counts.Stolen++
+		case JobDone:
+			counts.Done++
+		}
+		out = append(out, js)
+	}
+	return counts, out
+}
+
 // Lookup returns the snapshot row for one job.
 func (s *FleetSnapshot) Lookup(job string) (JobStatus, bool) {
 	for _, js := range s.Jobs {

@@ -56,6 +56,7 @@ type Server struct {
 	srv   *http.Server
 
 	done      chan struct{}
+	watchOnce sync.Once
 	closeOnce sync.Once
 }
 
@@ -217,8 +218,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// keepalive is the comment broadcast on idle poll ticks. SSE comments
+// (lines starting with ':') are invisible to event decoders, but they are
+// bytes on the wire — enough to stop proxies and load balancers from
+// reaping a connection that has been quiet because the fleet is quiet.
+var keepalive = []byte(": keepalive\n\n")
+
 // watch is the /events poll loop: scan on the server's clock, diff job
-// states against the previous poll, broadcast one SSE message per change.
+// states against the previous poll, broadcast one SSE message per change —
+// or a keepalive comment when the poll saw no changes, so idle streams
+// carry traffic every tick.
 func (s *Server) watch() {
 	for {
 		select {
@@ -230,14 +239,35 @@ func (s *Server) watch() {
 		if err != nil {
 			continue
 		}
-		s.publish(snap)
+		if s.publish(snap) == 0 {
+			s.broadcast(keepalive)
+		}
 	}
 }
 
-// publish diffs snap against the previous poll and broadcasts transitions.
-// Slow subscribers drop messages rather than stall the loop: /events is a
-// live view, and a dropped transition is recovered by re-reading /status.
-func (s *Server) publish(snap *FleetSnapshot) {
+// broadcast fans one raw SSE message out to every subscriber, dropping it
+// for slow ones (same policy as publish).
+func (s *Server) broadcast(msg []byte) {
+	s.mu.Lock()
+	subs := make([]chan []byte, 0, len(s.subs))
+	for ch := range s.subs {
+		subs = append(subs, ch)
+	}
+	s.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
+}
+
+// publish diffs snap against the previous poll, broadcasts transitions,
+// and returns how many messages it sent (the watch loop keeps idle
+// connections alive when the answer is zero). Slow subscribers drop
+// messages rather than stall the loop: /events is a live view, and a
+// dropped transition is recovered by re-reading /status.
+func (s *Server) publish(snap *FleetSnapshot) int {
 	cur := make(map[string]JobStatus, len(snap.Jobs))
 	for _, js := range snap.Jobs {
 		cur[js.Job] = js
@@ -277,12 +307,21 @@ func (s *Server) publish(snap *FleetSnapshot) {
 			}
 		}
 	}
+	return len(msgs)
+}
+
+// StartWatch starts the /events poll loop without serving HTTP, for
+// embedding Handler's routes into a larger mux (the sweep daemon mounts
+// them next to its /v1 API). Idempotent; Close stops the loop. Serve
+// calls it implicitly.
+func (s *Server) StartWatch() {
+	s.watchOnce.Do(func() { go s.watch() })
 }
 
 // Serve runs the HTTP server on l, starting the /events poll loop; it
 // blocks until Close (returning nil) or a listener failure.
 func (s *Server) Serve(l net.Listener) error {
-	go s.watch()
+	s.StartWatch()
 	err := s.srv.Serve(l)
 	if err == http.ErrServerClosed {
 		return nil

@@ -228,3 +228,97 @@ func readAll(t *testing.T, resp *http.Response) string {
 	}
 	return b.String()
 }
+
+// TestServerEventsKeepalive pins the idle-stream contract on a manual
+// clock: every poll tick that observes no job transitions broadcasts
+// exactly one `: keepalive` SSE comment — bytes enough to stop proxies
+// from reaping a quiet connection — and the comment never surfaces in the
+// decoded event stream (SSE decoders must ignore ':' comment lines, and
+// nothing here arrives under an "event:" field).
+func TestServerEventsKeepalive(t *testing.T) {
+	dir := t.TempDir()
+	// One done job and nothing else: the fleet never changes state, so
+	// every poll after the first is idle.
+	writeManifest(t, dir, "job-000000000000000a.json")
+	clock := distrib.NewManualClock(1000)
+	srv := fleetobs.NewServer(dir, clock, time.Second)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/events")
+	if err != nil {
+		t.Fatalf("GET /events: %v", err)
+	}
+	defer resp.Body.Close()
+
+	lines := make(chan string, 256)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	read := func(timeout time.Duration) (string, bool) {
+		select {
+		case l, ok := <-lines:
+			if !ok {
+				t.Fatal("SSE stream closed early")
+			}
+			return l, true
+		case <-time.After(timeout):
+			return "", false
+		}
+	}
+
+	// Drain the connect-time snapshot event (event:/data:/blank).
+	for {
+		l, ok := read(10 * time.Second)
+		if !ok {
+			t.Fatal("no snapshot event on connect")
+		}
+		if l == "" {
+			break
+		}
+	}
+
+	// Tick the poll loop and collect three keepalives. An Advance that
+	// lands before the watch loop has re-registered its timer fires
+	// nothing (ManualClock only releases already-registered waiters);
+	// those attempts time out and retry, so each received keepalive maps
+	// to exactly one observed tick.
+	keepalives := 0
+	var decoded []string // lines an SSE decoder would treat as fields
+	for attempts := 0; keepalives < 3; attempts++ {
+		if attempts > 2000 {
+			t.Fatalf("only %d keepalives after %d advances", keepalives, attempts)
+		}
+		clock.Advance(time.Second)
+		l, ok := read(20 * time.Millisecond)
+		if !ok {
+			continue
+		}
+		switch {
+		case l == ": keepalive":
+			keepalives++
+			if nl, ok := read(2 * time.Second); !ok || nl != "" {
+				t.Fatalf("keepalive not terminated by a blank line, got %q", nl)
+			}
+		case l == "":
+			// stray separator; ignore
+		default:
+			decoded = append(decoded, l)
+		}
+	}
+	if len(decoded) > 0 {
+		t.Errorf("idle stream carried non-comment lines: %q", decoded)
+	}
+	// Cadence: nothing more arrives without another tick.
+	if l, ok := read(50 * time.Millisecond); ok {
+		t.Errorf("unsolicited line after last tick: %q", l)
+	}
+}

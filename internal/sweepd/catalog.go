@@ -1,0 +1,84 @@
+package sweepd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tagprefetch/internal/experiment"
+	"tagprefetch/internal/stats"
+)
+
+// sweepDef is one servable sweep: a function that runs the experiment
+// through the caller's Options (and so the caller's Runner) and renders its
+// output to w exactly as cmd/tcpsweep prints it to stdout. The same def
+// serves three phases through three runner modes: job enumeration
+// (SetPlan + io.Discard), execution (claims + result store), and result
+// rendering (strict gather into the response body). Because all three run
+// the experiment's own job-construction code, the planned job set, the
+// executed job set and the gathered job set cannot drift apart.
+type sweepDef struct {
+	run func(o experiment.Options, w io.Writer)
+}
+
+// renderSeries prints series one per line — byte-identical to tcpsweep's
+// fmt.Println(s.String()) loop.
+func renderSeries(w io.Writer, ss ...stats.Series) {
+	for _, s := range ss {
+		fmt.Fprintln(w, s.String()) //nolint:errcheck // bytes.Buffer / io.Discard
+	}
+}
+
+// renderTable prints a table — byte-identical to tcpsweep's t.WriteTo.
+func renderTable(w io.Writer, t *stats.Table) {
+	t.WriteTo(w) //nolint:errcheck // bytes.Buffer / io.Discard
+}
+
+// catalog maps the sweep names the daemon serves to their definitions —
+// the same names cmd/tcpsweep's -sweep flag accepts, minus "branchpred":
+// that ablation builds jobs around live branch.Predictor instances, which
+// are not content-addressable (experiment.PointName reports ok == false),
+// so the daemon could neither cache nor distribute them honestly.
+var catalog = map[string]sweepDef{
+	"size": {func(o experiment.Options, w io.Writer) {
+		renderSeries(w, experiment.Fig13PHTSize(o)...)
+	}},
+	"nbits": {func(o experiment.Options, w io.Writer) {
+		renderSeries(w, experiment.Fig13IndexBits(o))
+	}},
+	"k": {func(o experiment.Options, w io.Writer) {
+		renderSeries(w, experiment.AblationTHTDepth(o))
+	}},
+	"assoc": {func(o experiment.Options, w io.Writer) {
+		renderSeries(w, experiment.AblationPHTAssoc(o))
+	}},
+	"hash": {func(o experiment.Options, w io.Writer) {
+		renderSeries(w, experiment.AblationHashing(o))
+	}},
+	"targets": {func(o experiment.Options, w io.Writer) {
+		renderSeries(w, experiment.AblationMultiTarget(o))
+	}},
+	"baselines": {func(o experiment.Options, w io.Writer) {
+		renderTable(w, experiment.AblationClassicBaselines(o))
+	}},
+	"critfilter": {func(o experiment.Options, w io.Writer) {
+		renderTable(w, experiment.AblationCriticalFilter(o))
+	}},
+	"strideassist": {func(o experiment.Options, w io.Writer) {
+		renderTable(w, experiment.AblationStrideAssist(o))
+	}},
+	"placement": {func(o experiment.Options, w io.Writer) {
+		renderTable(w, experiment.AblationPlacement(o))
+	}},
+}
+
+// catalogNames returns the servable sweep names, sorted, for error texts.
+func catalogNames() string {
+	names := make([]string, 0, len(catalog))
+	for n := range catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, " | ")
+}

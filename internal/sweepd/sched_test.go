@@ -1,0 +1,132 @@
+package sweepd
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mkRefs(sw *sweepRec, n int, prefix string) []jobRef {
+	refs := make([]jobRef, n)
+	for i := range refs {
+		refs[i] = jobRef{sw: sw, name: fmt.Sprintf("%s-%d", prefix, i)}
+	}
+	return refs
+}
+
+// TestWRRFairness is the acceptance-criteria fairness property: with two
+// tenants saturating the queue, every scheduling round serves both — in
+// any window of two consecutive pops while both tenants have work, both
+// tenants appear. No burst of submissions from one tenant can starve the
+// other.
+func TestWRRFairness(t *testing.T) {
+	q := newWRR()
+	swA := &sweepRec{tenant: "alice"}
+	swB := &sweepRec{tenant: "bob"}
+	// Alice floods the queue first — three sweeps' worth — then Bob
+	// submits one.
+	q.push("alice", mkRefs(swA, 30, "a")...)
+	q.push("bob", mkRefs(swB, 10, "b")...)
+
+	var order []string
+	for {
+		ref, ok := q.pop()
+		if !ok {
+			break
+		}
+		order = append(order, ref.sw.tenant)
+	}
+	if len(order) != 40 {
+		t.Fatalf("popped %d refs, want 40", len(order))
+	}
+	// While Bob has work (his 10 refs interleave into the first ~20
+	// pops), every adjacent pair must contain both tenants.
+	bobSeen := 0
+	for i := 0; i+1 < len(order) && bobSeen < 10; i++ {
+		if order[i] == order[i+1] {
+			t.Fatalf("pops %d and %d both served %s while both tenants had work (order %v)",
+				i, i+1, order[i], order[:i+2])
+		}
+		if order[i] == "bob" {
+			bobSeen++
+		}
+	}
+	// Once Bob drains, Alice's remainder flows without artificial gaps.
+	tail := order[len(order)-10:]
+	for _, tn := range tail {
+		if tn != "alice" {
+			t.Fatalf("tail pop served %s, want alice's backlog to drain", tn)
+		}
+	}
+}
+
+// TestWRRWeights: a weight-2 tenant takes two pops per round to a
+// weight-1 tenant's one.
+func TestWRRWeights(t *testing.T) {
+	q := newWRR()
+	swA, swB := &sweepRec{tenant: "heavy"}, &sweepRec{tenant: "light"}
+	q.tenant("heavy").weight = 2
+	q.push("heavy", mkRefs(swA, 6, "h")...)
+	q.push("light", mkRefs(swB, 3, "l")...)
+	var order []string
+	for {
+		ref, ok := q.pop()
+		if !ok {
+			break
+		}
+		order = append(order, ref.sw.tenant)
+	}
+	want := []string{"heavy", "heavy", "light", "heavy", "heavy", "light", "heavy", "heavy", "light"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("weighted order = %v, want %v", order, want)
+	}
+}
+
+// TestWRRRemoveSweep: cancelling releases exactly the dead sweep's refs
+// and frees queue capacity.
+func TestWRRRemoveSweep(t *testing.T) {
+	q := newWRR()
+	swA, swB := &sweepRec{tenant: "t"}, &sweepRec{tenant: "t"}
+	q.push("t", mkRefs(swA, 5, "a")...)
+	q.push("t", mkRefs(swB, 4, "b")...)
+	if removed := q.removeSweep(swA); removed != 5 {
+		t.Fatalf("removeSweep released %d refs, want 5", removed)
+	}
+	if q.queued != 4 {
+		t.Fatalf("queued = %d after removal, want 4", q.queued)
+	}
+	for i := 0; i < 4; i++ {
+		ref, ok := q.pop()
+		if !ok || ref.sw != swB {
+			t.Fatalf("pop %d = %+v ok=%v, want swB's refs only", i, ref, ok)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestWRREmptyTenantSkipped: a tenant that drains is skipped without
+// stalling rotation, and resumes in place when it refills.
+func TestWRREmptyTenantSkipped(t *testing.T) {
+	q := newWRR()
+	swA, swB := &sweepRec{tenant: "a"}, &sweepRec{tenant: "b"}
+	q.push("a", mkRefs(swA, 1, "a")...)
+	q.push("b", mkRefs(swB, 2, "b")...)
+	seq := []string{}
+	for {
+		ref, ok := q.pop()
+		if !ok {
+			break
+		}
+		seq = append(seq, ref.sw.tenant)
+	}
+	want := []string{"a", "b", "b"}
+	if fmt.Sprint(seq) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", seq, want)
+	}
+	// Refill the drained tenant: it must be served again.
+	q.push("a", mkRefs(swA, 1, "a2")...)
+	if ref, ok := q.pop(); !ok || ref.sw != swA {
+		t.Errorf("refilled tenant not served: %+v ok=%v", ref, ok)
+	}
+}
