@@ -26,14 +26,27 @@ type Line struct {
 }
 
 // Cache is a set-associative write-back cache. Construct with New.
+// Line frames live in one flat set-major array (c.set slices into it), so
+// an access touches a single contiguous region instead of hopping through
+// a slice-of-slices header table.
 type Cache struct {
-	name string
-	geom addr.Geometry
-	sets [][]Line
-	tick int64 // recency clock
+	name  string
+	geom  addr.Geometry
+	lines []Line
+	ways  int   //tcp:nosnap derived from geom at construction; Restore validates geometry instead
+	tick  int64 // recency clock
 
 	ctr counters
 }
+
+// set returns the line frames of set idx.
+//
+//tcp:hotpath — every probe, access and fill resolves its set through here.
+func (c *Cache) set(idx uint32) []Line {
+	base := int(idx) * c.ways
+	return c.lines[base : base+c.ways : base+c.ways]
+}
+
 
 // counters are the registry-backed activity metrics; Stats() renders them
 // as the legacy struct view.
@@ -113,12 +126,9 @@ func (s Stats) MissRate() float64 {
 
 // New creates a cache with the given geometry.
 func New(name string, g addr.Geometry) *Cache {
-	sets := make([][]Line, g.Sets())
-	backing := make([]Line, g.Sets()*g.Ways())
-	for i := range sets {
-		sets[i], backing = backing[:g.Ways():g.Ways()], backing[g.Ways():]
-	}
-	return &Cache{name: name, geom: g, sets: sets, ctr: newCounters()}
+	return &Cache{name: name, geom: g,
+		lines: make([]Line, g.Sets()*g.Ways()), ways: g.Ways(),
+		ctr: newCounters()}
 }
 
 // Name returns the cache name.
@@ -163,7 +173,7 @@ type AccessResult struct {
 //
 //tcp:hotpath — the prefetch filter probes on every candidate prediction.
 func (c *Cache) Probe(a addr.Addr) bool {
-	set := c.sets[c.geom.Index(a)]
+	set := c.set(c.geom.Index(a))
 	tag := c.geom.Tag(a)
 	for i := range set {
 		if set[i].Valid && set[i].Tag == tag {
@@ -184,7 +194,7 @@ func (c *Cache) Access(a addr.Addr, write bool, now int64) AccessResult {
 	tag := c.geom.Tag(a)
 	res := AccessResult{Index: idx, Tag: tag}
 	c.ctr.accesses.Inc()
-	set := c.sets[idx]
+	set := c.set(idx)
 	for i := range set {
 		ln := &set[i]
 		if !ln.Valid || ln.Tag != tag {
@@ -234,7 +244,7 @@ type Eviction struct {
 func (c *Cache) Fill(a addr.Addr, now, readyAt int64, prefetch bool) Eviction {
 	idx := c.geom.Index(a)
 	tag := c.geom.Tag(a)
-	set := c.sets[idx]
+	set := c.set(idx)
 	if prefetch {
 		c.ctr.prefetchFills.Inc()
 	} else {
@@ -253,18 +263,44 @@ func (c *Cache) Fill(a addr.Addr, now, readyAt int64, prefetch bool) Eviction {
 			return Eviction{}
 		}
 	}
-	// Choose victim: first invalid way, else LRU.
-	victim := 0
-	for i := range set {
-		if !set[i].Valid {
-			victim = i
-			goto place
-		}
-		if set[i].lru < set[victim].lru {
-			victim = i
-		}
+	return c.place(set, idx, tag, now, readyAt, prefetch)
+}
+
+// FillFresh is Fill for a block the caller has just proven absent: an
+// Access (or Fill-side probe) of the same set missed at this cycle and
+// nothing has filled the set since. The merge scan is dropped on that
+// precondition, and the direct-mapped case resolves its victim without a
+// scan; every state change is exactly Fill's.
+//
+//tcp:hotpath — the demand-miss fill path.
+func (c *Cache) FillFresh(a addr.Addr, now, readyAt int64, prefetch bool) Eviction {
+	idx := c.geom.Index(a)
+	tag := c.geom.Tag(a)
+	set := c.set(idx)
+	if prefetch {
+		c.ctr.prefetchFills.Inc()
+	} else {
+		c.ctr.fills.Inc()
 	}
-place:
+	return c.place(set, idx, tag, now, readyAt, prefetch)
+}
+
+// place installs tag over the set's victim — the first invalid way, else
+// LRU — and reports the eviction. Shared tail of Fill and FillFresh.
+func (c *Cache) place(set []Line, idx uint32, tag uint64, now, readyAt int64, prefetch bool) Eviction {
+	victim := 0
+	if c.ways > 1 {
+		for i := range set {
+			if !set[i].Valid {
+				victim = i
+				goto place
+			}
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+	place:
+	}
 	ev := Eviction{}
 	v := &set[victim]
 	if v.Valid {
@@ -298,7 +334,7 @@ place:
 // SetDirty marks block a dirty if present (write-allocate stores dirty the
 // line they just filled without a second demand access).
 func (c *Cache) SetDirty(a addr.Addr) {
-	set := c.sets[c.geom.Index(a)]
+	set := c.set(c.geom.Index(a))
 	tag := c.geom.Tag(a)
 	for i := range set {
 		if set[i].Valid && set[i].Tag == tag {
@@ -310,7 +346,7 @@ func (c *Cache) SetDirty(a addr.Addr) {
 
 // Invalidate removes block a if present, returning whether it was dirty.
 func (c *Cache) Invalidate(a addr.Addr) (present, dirty bool) {
-	set := c.sets[c.geom.Index(a)]
+	set := c.set(c.geom.Index(a))
 	tag := c.geom.Tag(a)
 	for i := range set {
 		if set[i].Valid && set[i].Tag == tag {
@@ -324,7 +360,7 @@ func (c *Cache) Invalidate(a addr.Addr) (present, dirty bool) {
 
 // LineAt returns a copy of the line holding block a, if present.
 func (c *Cache) LineAt(a addr.Addr) (Line, bool) {
-	set := c.sets[c.geom.Index(a)]
+	set := c.set(c.geom.Index(a))
 	tag := c.geom.Tag(a)
 	for i := range set {
 		if set[i].Valid && set[i].Tag == tag {
@@ -340,7 +376,7 @@ func (c *Cache) LineAt(a addr.Addr) (Line, bool) {
 func (c *Cache) VictimFor(a addr.Addr) (Line, bool) {
 	idx := c.geom.Index(a)
 	tag := c.geom.Tag(a)
-	set := c.sets[idx]
+	set := c.set(idx)
 	victim := -1
 	for i := range set {
 		if set[i].Valid && set[i].Tag == tag {
@@ -361,11 +397,9 @@ func (c *Cache) VictimFor(a addr.Addr) (Line, bool) {
 // close the "prefetched extra" accounting of Figure 12).
 func (c *Cache) UnusedPrefetched() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].Valid && set[i].Prefetched {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].Valid && c.lines[i].Prefetched {
+			n++
 		}
 	}
 	return n
@@ -374,11 +408,9 @@ func (c *Cache) UnusedPrefetched() int {
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].Valid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
 		}
 	}
 	return n
@@ -393,28 +425,25 @@ func (c *Cache) Occupancy() int {
 // times from leaking stalls into the cycle-accurate measured window
 // (docs/FASTFORWARD.md).
 func (c *Cache) Quiesce(now int64) {
-	for _, set := range c.sets {
-		for i := range set {
-			ln := &set[i]
-			if !ln.Valid {
-				continue
-			}
-			if ln.ReadyAt > now {
-				ln.ReadyAt = now
-			}
-			if ln.FilledAt > now {
-				ln.FilledAt = now
-			}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.Valid {
+			continue
+		}
+		if ln.ReadyAt > now {
+			ln.ReadyAt = now
+		}
+		if ln.FilledAt > now {
+			ln.FilledAt = now
 		}
 	}
 }
 
 func (c *Cache) Reset() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = Line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = Line{}
 	}
+
 	c.tick = 0
 	for _, m := range c.ctr.metrics() {
 		m.(*telemetry.Counter).Store(0)

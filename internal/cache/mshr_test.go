@@ -98,3 +98,111 @@ func TestMSHRBadCapacityClamped(t *testing.T) {
 		t.Errorf("capacity = %d, want 1", f.Capacity())
 	}
 }
+
+// TestMSHRNextEvent pins the file's event-horizon query: the soonest
+// in-flight completion, tracked lazily through tombstones.
+func TestMSHRNextEvent(t *testing.T) {
+	g := l1geom()
+	f := NewMSHRFile(8)
+	if e := f.NextEvent(); e != 0 {
+		t.Errorf("empty file NextEvent = %d, want 0", e)
+	}
+	f.Allocate(g, 0x1000, 300, false)
+	f.Allocate(g, 0x2000, 100, false)
+	f.Allocate(g, 0x3000, 200, false)
+	if e := f.NextEvent(); e != 100 {
+		t.Errorf("NextEvent = %d, want 100", e)
+	}
+	// Retiring the earliest entry leaves a tombstone; the horizon must
+	// skip it and surface the next live completion.
+	f.Remove(g, 0x2000)
+	if e := f.NextEvent(); e != 200 {
+		t.Errorf("after remove: NextEvent = %d, want 200", e)
+	}
+	if n := f.ReleaseBefore(250); n != 1 {
+		t.Errorf("released %d, want 1", n)
+	}
+	if e := f.NextEvent(); e != 300 {
+		t.Errorf("after release: NextEvent = %d, want 300", e)
+	}
+	f.Remove(g, 0x1000)
+	if e := f.NextEvent(); e != 0 {
+		t.Errorf("drained file NextEvent = %d, want 0", e)
+	}
+}
+
+// TestMSHRFastIndexEquivalence drives a reference (map + heap) file and a
+// fast-index (chained pool + unsorted ready bag) file through the same
+// pseudo-random operation sequence and demands identical observables after
+// every step: lookup results, in-flight count, release counts, stall
+// horizon, and activity counters. The fast file flips modes mid-sequence,
+// so the EnableFastIndex/disableFastIndex transitions (including the
+// re-heapify on the way back to reference mode) are exercised under load,
+// not just at boundaries.
+func TestMSHRFastIndexEquivalence(t *testing.T) {
+	g := l1geom()
+	const cap = 16
+	ref := NewMSHRFile(cap)
+	fast := NewMSHRFile(cap)
+	fast.EnableFastIndex()
+
+	rng := uint64(0x9E3779B97F4A7C15) // deterministic LCG state
+	next := func(n uint64) uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return (rng >> 33) % n
+	}
+
+	now := int64(0)
+	for step := 0; step < 20000; step++ {
+		now++
+		a := addr.Addr(next(64) * 0x40) // 64 blocks: collisions guaranteed
+		switch next(10) {
+		case 0, 1, 2, 3: // allocate/merge
+			ready := now + int64(next(200))
+			pf := next(4) == 0
+			mr, okR := ref.Allocate(g, a, ready, pf)
+			mf, okF := fast.Allocate(g, a, ready, pf)
+			if okR != okF {
+				t.Fatalf("step %d: alloc ok %v vs %v", step, okR, okF)
+			}
+			if okR && (mr.ReadyAt != mf.ReadyAt || mr.Demands != mf.Demands ||
+				mr.Prefetch != mf.Prefetch || mr.Block != mf.Block) {
+				t.Fatalf("step %d: alloc entry %+v vs %+v", step, mr, mf)
+			}
+		case 4, 5: // lookup
+			mr, okR := ref.Lookup(g, a)
+			mf, okF := fast.Lookup(g, a)
+			if okR != okF {
+				t.Fatalf("step %d: lookup ok %v vs %v", step, okR, okF)
+			}
+			if okR && (mr.ReadyAt != mf.ReadyAt || mr.Demands != mf.Demands) {
+				t.Fatalf("step %d: lookup entry %+v vs %+v", step, mr, mf)
+			}
+		case 6: // retire
+			ref.Remove(g, a)
+			fast.Remove(g, a)
+		case 7: // bulk release, as the full-file stall path would
+			h := now - int64(next(100))
+			if nr, nf := ref.ReleaseBefore(h), fast.ReleaseBefore(h); nr != nf {
+				t.Fatalf("step %d: released %d vs %d", step, nr, nf)
+			}
+		case 8: // stall horizon
+			if er, ef := ref.EarliestReady(), fast.EarliestReady(); er != ef {
+				t.Fatalf("step %d: earliest %d vs %d", step, er, ef)
+			}
+		case 9: // flip the fast file's mode under load
+			if next(2) == 0 {
+				fast.disableFastIndex()
+			} else {
+				fast.EnableFastIndex()
+			}
+		}
+		if ref.InFlight() != fast.InFlight() {
+			t.Fatalf("step %d: in flight %d vs %d", step, ref.InFlight(), fast.InFlight())
+		}
+	}
+	sr, sf := ref.Stats(), fast.Stats()
+	if sr != sf {
+		t.Fatalf("stats diverged: %+v vs %+v", sr, sf)
+	}
+}

@@ -16,18 +16,16 @@ func (c *Cache) Save(w *checkpoint.Writer) error {
 	w.I64(c.tick)
 	w.U32(uint32(c.geom.Sets()))
 	w.U32(uint32(c.geom.Ways()))
-	for _, set := range c.sets {
-		for i := range set {
-			ln := &set[i]
-			w.U64(ln.Tag)
-			w.Bool(ln.Valid)
-			w.Bool(ln.Dirty)
-			w.Bool(ln.Prefetched)
-			w.I64(ln.ReadyAt)
-			w.I64(ln.FilledAt)
-			w.I64(ln.LastTouch)
-			w.I64(ln.lru)
-		}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		w.U64(ln.Tag)
+		w.Bool(ln.Valid)
+		w.Bool(ln.Dirty)
+		w.Bool(ln.Prefetched)
+		w.I64(ln.ReadyAt)
+		w.I64(ln.FilledAt)
+		w.I64(ln.LastTouch)
+		w.I64(ln.lru)
 	}
 	for _, m := range c.ctr.metrics() {
 		w.U64(m.(*telemetry.Counter).Value())
@@ -50,18 +48,16 @@ func (c *Cache) Restore(r *checkpoint.Reader) error {
 		return fmt.Errorf("cache %s: checkpoint geometry %dx%d, want %dx%d",
 			c.name, sets, ways, c.geom.Sets(), c.geom.Ways())
 	}
-	for _, set := range c.sets {
-		for i := range set {
-			ln := &set[i]
-			ln.Tag = r.U64()
-			ln.Valid = r.Bool()
-			ln.Dirty = r.Bool()
-			ln.Prefetched = r.Bool()
-			ln.ReadyAt = r.I64()
-			ln.FilledAt = r.I64()
-			ln.LastTouch = r.I64()
-			ln.lru = r.I64()
-		}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		ln.Tag = r.U64()
+		ln.Valid = r.Bool()
+		ln.Dirty = r.Bool()
+		ln.Prefetched = r.Bool()
+		ln.ReadyAt = r.I64()
+		ln.FilledAt = r.I64()
+		ln.LastTouch = r.I64()
+		ln.lru = r.I64()
 	}
 	for _, m := range c.ctr.metrics() {
 		m.(*telemetry.Counter).Store(r.U64())
@@ -69,22 +65,24 @@ func (c *Cache) Restore(r *checkpoint.Reader) error {
 	return r.Err()
 }
 
-// Save implements checkpoint.Snapshotter. In-flight entries are written in
-// ascending block-ID order so the image is deterministic regardless of map
-// iteration order.
+// Save implements checkpoint.Snapshotter. In-flight entries are gathered
+// from the fixed pool and written in ascending block-ID order, so the image
+// is deterministic and identical whichever lookup structure (reference map
+// or skip-engine fast index) is active.
 func (f *MSHRFile) Save(w *checkpoint.Writer) error {
 	w.Section("mshr")
 	w.U64(f.merges)
 	w.U64(f.allocs)
 	w.U64(f.fullStall)
-	keys := make([]uint64, 0, len(f.pending))
-	for k := range f.pending {
-		keys = append(keys, k)
+	live := make([]*MSHR, 0, f.count)
+	for i := range f.pool {
+		if m := &f.pool[i]; f.isLive(m) {
+			live = append(live, m)
+		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	w.U32(uint32(len(keys)))
-	for _, k := range keys {
-		m := f.pending[k]
+	sort.Slice(live, func(i, j int) bool { return live[i].Block < live[j].Block })
+	w.U32(uint32(len(live)))
+	for _, m := range live {
 		w.U64(m.Block)
 		w.I64(m.ReadyAt)
 		w.Int(m.Demands)
@@ -108,7 +106,9 @@ func (f *MSHRFile) Restore(r *checkpoint.Reader) error {
 	if n > f.capacity {
 		return fmt.Errorf("mshr: checkpoint holds %d entries, capacity %d", n, f.capacity)
 	}
+	f.fastOn = false // restore always lands in reference (map) mode
 	f.pending = make(map[uint64]*MSHR, f.capacity)
+	f.count = 0
 	f.refillFree()
 	f.ready = f.ready[:0]
 	for i := 0; i < n; i++ {
@@ -126,6 +126,7 @@ func (f *MSHRFile) Restore(r *checkpoint.Reader) error {
 		e.slot = slot
 		f.pool[slot] = e
 		f.pending[e.Block] = &f.pool[slot]
+		f.count++
 		f.pushReady(mshrReady{block: e.Block, readyAt: e.ReadyAt})
 	}
 	return r.Err()

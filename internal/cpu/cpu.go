@@ -192,6 +192,10 @@ type Core struct {
 	fastActive bool
 	fclock     int64 // functional cycle: one per fast-forwarded instruction
 
+	// measured-phase skip engine selection (skip.go): host-side, results
+	// are bit-identical either way by contract.
+	measureSkip bool //tcp:nosnap engine selection, not simulated state; reset clears it
+
 	// telemetry (optional; nil fields are skipped on the hot path)
 	instrCtr *telemetry.Counter //tcp:nosnap host-side observability handle, outside the simulated state
 	cycleCtr *telemetry.Counter //tcp:nosnap host-side observability handle, outside the simulated state
@@ -219,6 +223,7 @@ func (c *Core) reset() {
 	c.warmRes = Result{}
 	c.fastActive = false
 	c.fclock = 0
+	c.measureSkip = false
 }
 
 // SetOnLoadRetire installs (or clears) the load-retirement hook on a core
@@ -284,6 +289,11 @@ type pipeline struct {
 	commitSlots   int
 	lastCommit    int64
 	fetchResume   int64
+
+	// skip-engine ring masks (skip.go), valid only for power-of-two
+	// RUU/LSQ geometry and set by primeSkip before each skip advance.
+	ruuMask uint64 //tcp:nosnap derived geometry mask, rebuilt by primeSkip
+	lsqMask int    //tcp:nosnap derived geometry mask, rebuilt by primeSkip
 }
 
 // newPipeline allocates every ring and scoreboard up front so that step
@@ -451,6 +461,10 @@ func (c *Core) Warmed() bool { return c.warmed }
 func (c *Core) AdvanceTo(gen workload.Generator, target uint64) {
 	if c.fastActive && c.done < target {
 		panic("cpu: AdvanceTo during fast-forward; call SealFastForward (or MarkWarmBoundary) first")
+	}
+	if c.measureSkip && c.p.primeSkip() {
+		c.advanceToSkip(gen, target)
+		return
 	}
 	var inst workload.Inst
 	for c.done < target {

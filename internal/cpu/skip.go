@@ -1,0 +1,220 @@
+package cpu
+
+import (
+	"tagprefetch/internal/addr"
+	"tagprefetch/internal/workload"
+)
+
+// Measured-phase skip engine (docs/FASTFORWARD.md).
+//
+// The constructive timing model never grinds through idle cycles — each
+// instruction's dispatch/issue/complete/commit times are computed directly,
+// so there is no per-cycle loop to skip. What the event-horizon design
+// buys here instead is the licence to take algebraic fast paths: each
+// component exposes NextEvent(), the cycle of its next self-scheduled
+// state change, and between "now" and that horizon its state is inert by
+// construction. The skip engine exploits the fast paths that stay
+// bit-identical under that licence:
+//
+//   - MSHRFile: the fill horizon (EarliestReady) is maintained either way;
+//     skip mode swaps the pending map for a chained pool index
+//     (cache.EnableFastIndex) and the ready min-heap for an unsorted bag
+//     swept on the stall path — identical entry dynamics, O(1) per miss.
+//   - rings: power-of-two RUU/LSQ geometry turns ring modulo into masks.
+//   - prefetcher plumbing: with prefetch.None attached, every training
+//     call provably returns nil, so memsys elides the whole call chain.
+//
+// The contract is strict, not tiered: stepSkip must book cycle-for-cycle,
+// index-for-index the same state as step — checkpoints serialise fuPool
+// freeAt arrays per index, so even "which unit" must match, not just the
+// multiset of times. TestMeasuredSkipEquivalence and
+// FuzzMeasuredSkipEquivalence in internal/sim enforce this bit-for-bit.
+
+// SetMeasureSkip arms (or disarms) the measured-phase skip engine: while
+// set, AdvanceTo runs the specialised stepSkip loop instead of the
+// reference step loop. Results are bit-identical by contract; the flag is
+// host-side engine selection, never serialised, and reset() clears it.
+func (c *Core) SetMeasureSkip(on bool) { c.measureSkip = on }
+
+// MeasureSkip reports whether the skip engine is armed.
+func (c *Core) MeasureSkip() bool { return c.measureSkip }
+
+// NextEvent implements the event-horizon query for the core. The
+// constructive model schedules each instruction to completion as it is
+// stepped, so between instructions the only forward-booked state is the
+// fetch-redirect resume point and functional-unit bookings: the horizon is
+// the earliest of those beyond the last commit, or 0 when the pipeline has
+// nothing scheduled past it.
+func (c *Core) NextEvent() int64 {
+	if c.fastActive {
+		return 0 // functional warmup: no cycle-accurate state is scheduled
+	}
+	return c.p.nextEvent()
+}
+
+// nextEvent returns the pipeline's event horizon; see Core.NextEvent.
+func (p *pipeline) nextEvent() int64 {
+	next := int64(0)
+	if p.fetchResume > p.lastCommit {
+		next = p.fetchResume
+	}
+	for _, pool := range [...]*fuPool{p.intALU, p.intMul, p.fpALU, p.fpMul, p.memPort} {
+		for _, t := range pool.freeAt {
+			if t > p.lastCommit && (next == 0 || t < next) {
+				next = t
+			}
+		}
+	}
+	return next
+}
+
+// primeSkip derives the skip engine's state from the reference state: the
+// ring masks for the power-of-two RUU/LSQ geometry. It returns false when
+// the geometry is not power-of-two (the caller falls back to the
+// reference loop). Called at every advanceToSkip entry, so reference-mode
+// mutations between advances (Restore, SealFastForward, reset) can never
+// leave the derived state stale.
+func (p *pipeline) primeSkip() bool {
+	ruu, lsq := uint64(p.cfg.RUUSize), uint64(p.cfg.LSQSize)
+	if ruu&(ruu-1) != 0 || lsq&(lsq-1) != 0 {
+		return false
+	}
+	p.ruuMask = ruu - 1
+	p.lsqMask = int(lsq - 1)
+	return true
+}
+
+// advanceToSkip is AdvanceTo's skip-engine twin: the identical
+// per-instruction order (sampler check, generator draw, step), with
+// stepSkip in place of step. Splitting an advance at any point therefore
+// remains bit-identical to an unsplit one, in either engine or a mix.
+func (c *Core) advanceToSkip(gen workload.Generator, target uint64) {
+	var inst workload.Inst
+	for c.done < target {
+		i := c.done
+		if c.sampler != nil && c.sampler.Due(c.p.lastCommit) {
+			c.syncCounters(i, c.p.lastCommit)
+			c.sampler.Sample(c.p.lastCommit, i)
+		}
+		gen.Next(&inst)
+		c.p.stepSkip(i, &inst, &c.res)
+		c.done = i + 1
+	}
+}
+
+// stepSkip is the skip engine's step: the reference semantics of step,
+// with ring modulo folded to masks and the operand loop unrolled. Every
+// state write and every counter increment matches step bit-for-bit; any
+// edit to step must be mirrored here (the differential suite in
+// internal/sim catches a miss).
+//
+//tcp:hotpath — runs once per simulated instruction in skip mode; tcplint's
+// hotalloc keeps it free of allocation, fmt, and interface boxing.
+func (p *pipeline) stepSkip(i uint64, inst *workload.Inst, res *Result) {
+	cfg := &p.cfg
+
+	// --- dispatch ---
+	d := p.dispatchCycle
+	if p.fetchResume > d {
+		d = p.fetchResume
+		res.FetchRedirectStall++
+	}
+	if i >= uint64(cfg.RUUSize) {
+		if w := p.commitAt[i&p.ruuMask]; w > d {
+			d = w
+			res.DispatchStallRUU++
+		}
+	}
+	isMem := inst.Class.IsMem()
+	if isMem && p.memCount >= cfg.LSQSize {
+		if w := p.memCommit[p.memCount&p.lsqMask]; w > d {
+			d = w
+			res.DispatchStallLSQ++
+		}
+	}
+	if d > p.dispatchCycle {
+		p.dispatchCycle = d
+		p.dispatchSlots = 0
+	}
+	if p.dispatchSlots == cfg.IssueWidth {
+		p.dispatchCycle++
+		p.dispatchSlots = 0
+	}
+	d = p.dispatchCycle
+	p.dispatchSlots++
+
+	// --- operand readiness ---
+	ready := d + 1
+	if dep := inst.Dep1; dep > 0 && uint64(dep) <= i && dep <= int32(cfg.RUUSize) {
+		if w := p.doneAt[(i-uint64(dep))&p.ruuMask]; w > ready {
+			ready = w
+		}
+	}
+	if dep := inst.Dep2; dep > 0 && uint64(dep) <= i && dep <= int32(cfg.RUUSize) {
+		if w := p.doneAt[(i-uint64(dep))&p.ruuMask]; w > ready {
+			ready = w
+		}
+	}
+
+	// --- issue and execute ---
+	var done int64
+	switch inst.Class {
+	case workload.IntALU:
+		done = p.intALU.issue(ready) + latIntALU
+	case workload.IntMult:
+		done = p.intMul.issue(ready) + latIntMul
+	case workload.FPALU:
+		done = p.fpALU.issue(ready) + latFPALU
+	case workload.FPMult:
+		done = p.fpMul.issue(ready) + latFPMul
+	case workload.Branch:
+		done = p.intALU.issue(ready) + latBranch
+		res.Branches++
+		predicted := p.pred.Predict(inst.PC)
+		p.pred.Update(inst.PC, inst.Taken)
+		if predicted != inst.Taken {
+			res.BranchMispredicts++
+			if r := done + cfg.RedirectPenalty; r > p.fetchResume {
+				p.fetchResume = r
+			}
+		}
+	case workload.Load:
+		res.Loads++
+		at := p.memPort.issue(ready) + latAGU
+		done = p.mem.Access(addr.Addr(inst.Addr), addr.Addr(inst.PC), false, at)
+	case workload.Store:
+		res.Stores++
+		at := p.memPort.issue(ready) + latAGU
+		p.mem.Access(addr.Addr(inst.Addr), addr.Addr(inst.PC), true, at)
+		done = at + 1
+	default:
+		done = p.intALU.issue(ready) + latIntALU
+	}
+	p.doneAt[i&p.ruuMask] = done
+
+	// --- in-order commit, IssueWidth per cycle ---
+	cm := done
+	if p.lastCommit > cm {
+		cm = p.lastCommit
+	}
+	if inst.Class == workload.Load && cfg.OnLoadRetire != nil {
+		const commitSkew = 8
+		cfg.OnLoadRetire(inst.PC, done > p.lastCommit+commitSkew)
+	}
+	if cm > p.commitCycle {
+		p.commitCycle = cm
+		p.commitSlots = 0
+	}
+	if p.commitSlots == cfg.IssueWidth {
+		p.commitCycle++
+		p.commitSlots = 0
+	}
+	cm = p.commitCycle
+	p.commitSlots++
+	p.lastCommit = cm
+	p.commitAt[i&p.ruuMask] = cm
+	if isMem {
+		p.memCommit[p.memCount&p.lsqMask] = cm
+		p.memCount++
+	}
+}

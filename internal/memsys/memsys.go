@@ -194,6 +194,15 @@ type MemSys struct {
 
 	pf   prefetch.Prefetcher
 	l2pf prefetch.Prefetcher  // nil unless a prefetcher observes the L2 miss stream
+
+	// pfNoop licenses the skip engine to elide prefetcher plumbing: it is
+	// set by EnableFastIndex only when pf is the stateless prefetch.None
+	// baseline and no L2 prefetcher is attached, in which case every
+	// OnMiss/OnAccess call provably returns nil and mutates nothing, so
+	// the trace.Miss construction and request-batch handling around them
+	// are dead work. Off in reference mode, so the reference path is the
+	// unconditional, readable model.
+	pfNoop bool //tcp:nosnap host-side engine selection, like MSHRFile.fastOn
 	dbp  *deadblock.Predictor // nil unless hybrid promotion is enabled
 
 	ctr counters
@@ -231,7 +240,7 @@ func New(cfg Config, pf prefetch.Prefetcher) *MemSys {
 // ablation (A8) — the paper positions its prefetcher between L1 and L2
 // (Figure 10) precisely because the L1 miss stream is richer; this hook
 // lets that choice be measured.
-func (m *MemSys) UseL2Prefetcher(p prefetch.Prefetcher) { m.l2pf = p }
+func (m *MemSys) UseL2Prefetcher(p prefetch.Prefetcher) { m.l2pf, m.pfNoop = p, false }
 
 // UseDeadBlockPredictor enables hybrid L1 promotion gated by p.
 func (m *MemSys) UseDeadBlockPredictor(p *deadblock.Predictor) { m.dbp = p }
@@ -290,9 +299,13 @@ func (m *MemSys) Access(a, pc addr.Addr, write bool, now int64) int64 {
 			// hit would vanish from the per-set miss stream and starve the
 			// prefetcher's history, so train it on a virtual miss (and let
 			// it chain the next prediction).
-			m.issue(m.pf.OnMiss(trace.MakeMiss(m.cfg.L1D, a, pc, now, write)), now)
+			if !m.pfNoop {
+				m.issue(m.pf.OnMiss(trace.MakeMiss(m.cfg.L1D, a, pc, now, write)), now)
+			}
 		}
-		m.issue(m.pf.OnAccess(a, pc, now, true), now)
+		if !m.pfNoop {
+			m.issue(m.pf.OnAccess(a, pc, now, true), now)
+		}
 		if ready := now + m.cfg.L1HitLatency; ready > res.ReadyAt {
 			return ready
 		}
@@ -336,17 +349,21 @@ func (m *MemSys) miss(a, pc addr.Addr, write bool, now int64) int64 {
 	}
 
 	readyAt := m.fillFromL2(a, pc, start, false)
-	ev := m.l1d.Fill(a, start, readyAt, false)
+	// The Access above just missed and nothing has touched the set since,
+	// so the fill cannot merge: FillFresh skips the dead merge scan.
+	ev := m.l1d.FillFresh(a, start, readyAt, false)
 	if write {
 		m.l1d.SetDirty(a) // write-allocate: the store dirties the new line
 	}
 	m.handleL1Eviction(ev, start)
 	m.mshr.Allocate(m.cfg.L1D, a, readyAt, false)
 
-	miss := trace.MakeMiss(m.cfg.L1D, a, pc, start, write)
-	reqs := m.pf.OnMiss(miss)
-	reqs = append(reqs, m.pf.OnAccess(a, pc, start, false)...)
-	m.issue(reqs, start)
+	if !m.pfNoop {
+		miss := trace.MakeMiss(m.cfg.L1D, a, pc, start, write)
+		reqs := m.pf.OnMiss(miss)
+		reqs = append(reqs, m.pf.OnAccess(a, pc, start, false)...)
+		m.issue(reqs, start)
+	}
 
 	return readyAt
 }
@@ -409,7 +426,10 @@ func (m *MemSys) fillL2(a addr.Addr, now, readyAt int64, isPrefetch bool) {
 	if isPrefetch {
 		m.ctr.pfFills.Inc()
 	}
-	ev := m.l2.Fill(m.cfg.L2.Block(a), now, readyAt, isPrefetch)
+	// Every caller sits directly behind a same-cycle L2 miss (demand walk,
+	// ideal-L2 install, write-back install, prefetch fill), so the block is
+	// provably absent and the merge scan would be dead work.
+	ev := m.l2.FillFresh(m.cfg.L2.Block(a), now, readyAt, isPrefetch)
 	if !ev.Valid {
 		return
 	}
@@ -427,7 +447,9 @@ func (m *MemSys) handleL1Eviction(ev cache.Eviction, now int64) {
 	if !ev.Valid {
 		return
 	}
-	m.pf.OnEvict(ev.Addr, ev.FilledAt, ev.LastTouch, now)
+	if !m.pfNoop {
+		m.pf.OnEvict(ev.Addr, ev.FilledAt, ev.LastTouch, now)
+	}
 	if m.dbp != nil {
 		m.dbp.OnEvict(ev.Addr, ev.FilledAt, ev.LastTouch)
 	}
@@ -571,6 +593,40 @@ func (m *MemSys) BusStats(horizon int64) (bus.Stats, bus.Stats) {
 	return m.l1Bus.Stats(horizon), m.memBus.Stats(horizon)
 }
 
+// NextEvent implements the event-horizon query (docs/FASTFORWARD.md) for
+// the whole hierarchy: the earliest cycle at which any component's state
+// changes on its own — a bus backlog draining or an in-flight MSHR fill
+// completing — or 0 when nothing is scheduled. Between now and that cycle
+// the hierarchy is inert: an access issued before the horizon observes
+// exactly the state an access at the horizon would, apart from queueing
+// terms the components compute themselves.
+func (m *MemSys) NextEvent() int64 {
+	next := m.l1Bus.NextEvent()
+	if t := m.memBus.NextEvent(); t != 0 && (next == 0 || t < next) {
+		next = t
+	}
+	if m.pfBus != nil {
+		if t := m.pfBus.NextEvent(); t != 0 && (next == 0 || t < next) {
+			next = t
+		}
+	}
+	if t := m.mshr.NextEvent(); t != 0 && (next == 0 || t < next) {
+		next = t
+	}
+	return next
+}
+
+// EnableFastIndex switches the MSHR file onto its chained pool index — the
+// hierarchy's contribution to measured-phase skip mode. Purely a lookup-
+// structure change: the entry set, alloc/free order, and all counters are
+// exactly those of the reference map. Reset and checkpoint Restore fall
+// back to the map; the skip engine re-enables on the next run.
+func (m *MemSys) EnableFastIndex() {
+	m.mshr.EnableFastIndex()
+	_, noop := m.pf.(prefetch.None)
+	m.pfNoop = noop && m.l2pf == nil
+}
+
 // Quiesce settles timing state left behind by a functional fast-forward
 // warmup, at boundary cycle now. The functional clock advances one cycle
 // per instruction — far faster than the cycle-accurate pipeline — so bus
@@ -613,6 +669,7 @@ func (m *MemSys) Reset() {
 	m.memBus.Reset()
 	m.mem.Reset()
 	m.mshr.Reset()
+	m.pfNoop = false // like the MSHR fast index, skip mode re-arms on the next run
 	m.pf.Reset()
 	if m.l2pf != nil {
 		m.l2pf.Reset()

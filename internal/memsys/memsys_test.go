@@ -401,3 +401,35 @@ func TestPromotionAllowedOnceVictimLifetimeLearned(t *testing.T) {
 		t.Errorf("no promotions after lifetimes learned: %+v", s)
 	}
 }
+
+// TestNextEvent pins the hierarchy's composed event-horizon query: the
+// min-positive over the bus backlogs and the soonest in-flight MSHR fill,
+// 0 on an idle hierarchy.
+func TestNextEvent(t *testing.T) {
+	m := newSys(nil)
+	if e := m.NextEvent(); e != 0 {
+		t.Errorf("idle hierarchy NextEvent = %d, want 0", e)
+	}
+
+	// A cold miss books both buses and leaves one fill in flight.
+	done := m.Access(0x1000, 0, false, 0)
+	want := int64(0)
+	for _, h := range []int64{m.l1Bus.NextEvent(), m.memBus.NextEvent(), m.mshr.NextEvent()} {
+		if h != 0 && (want == 0 || h < want) {
+			want = h
+		}
+	}
+	if e := m.NextEvent(); e != want || e == 0 {
+		t.Errorf("after miss: NextEvent = %d, want min-positive component horizon %d", e, want)
+	}
+	if e := m.NextEvent(); e > done {
+		t.Errorf("horizon %d beyond the miss completion %d", e, done)
+	}
+
+	// Once the fill retires and backlogs drain, the horizon must clear:
+	// the MSHR entry is retired lazily by the release sweep.
+	m.mshr.ReleaseBefore(done + 1)
+	if e := m.mshr.NextEvent(); e != 0 {
+		t.Errorf("drained MSHR NextEvent = %d, want 0", e)
+	}
+}

@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"tagprefetch/internal/telemetry"
+	"tagprefetch/internal/workload"
+)
+
+// skipRun drives one full run under cfg with telemetry armed and returns
+// everything the strict equivalence contract covers: the measured Result,
+// the cycle-sampled telemetry series, and the final checkpoint image
+// (taken at the last instruction, before finish moves end-of-run
+// accounting).
+func skipRun(t *testing.T, bench string, f Factory, cfg Config) (Result, []telemetry.TimeSeries, []byte) {
+	t.Helper()
+	tRun := telemetry.NewRun(1_000)
+	cfg.Telemetry = tRun
+	m := mustMachine(t, bench, f, cfg)
+	m.RunTo(m.Total())
+	img, err := m.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.finish(), tRun.Sampler.Series(), img
+}
+
+// compareSkipRun asserts the strict skip contract between a reference and
+// a skip-engine run: bit-identical Result, telemetry series, and
+// checkpoint bytes.
+func compareSkipRun(t *testing.T, label string,
+	exact, skip Result, exactSeries, skipSeries []telemetry.TimeSeries, exactImg, skipImg []byte) {
+	t.Helper()
+	if exact != skip {
+		t.Errorf("%s: Result diverged:\nexact %+v\nskip  %+v", label, exact, skip)
+	}
+	if !reflect.DeepEqual(exactSeries, skipSeries) {
+		t.Errorf("%s: sampled telemetry series diverged", label)
+	}
+	if !bytes.Equal(exactImg, skipImg) {
+		t.Errorf("%s: final checkpoint images differ (%d vs %d bytes)",
+			label, len(exactImg), len(skipImg))
+	}
+}
+
+// TestMeasuredSkipEquivalence is the differential harness for the
+// measured-phase skip engine (docs/FASTFORWARD.md): across three benches
+// and the eight Figure 13 sweep shapes, a run with -measure-skip must be
+// bit-identical to the reference loop — the full Result (every counter,
+// including the float IPC), every cycle-sampled telemetry series point
+// (same cycles, same values: the Sampler and OnLoadRetire observed the
+// same commit clocks), and the final checkpoint image byte-for-byte (so
+// even the fuPool unit indices and MSHR entry sets match, not just
+// aggregates). This is the strict analogue of PR 7's tiered fast-warmup
+// contract: no tolerances, no excluded counters.
+func TestMeasuredSkipEquivalence(t *testing.T) {
+	base := Config{Instructions: 100_000, Warmup: 200_000, Seed: 1}
+	skipCfg := base
+	skipCfg.MeasureSkip = true
+
+	for _, bench := range []string{"swim", "mcf", "equake"} {
+		for _, tc := range fastEquivCases() {
+			label := bench + "/" + tc.label
+			exact, exactSeries, exactImg := skipRun(t, bench, tc.f, base)
+			skip, skipSeries, skipImg := skipRun(t, bench, tc.f, skipCfg)
+			compareSkipRun(t, label, exact, skip, exactSeries, skipSeries, exactImg, skipImg)
+		}
+	}
+}
+
+// TestMeasuredSkipComposesWithFastWarmup pins the engine matrix corner:
+// a fast (functional) warmup followed by a skip-engine measured window is
+// bit-identical to a fast warmup followed by the reference measured
+// window. The two features select engines for disjoint phases, so they
+// must compose without interaction.
+func TestMeasuredSkipComposesWithFastWarmup(t *testing.T) {
+	base := Config{Instructions: 60_000, Warmup: 120_000, Seed: 1,
+		WarmupFidelity: FidelityFast}
+	skipCfg := base
+	skipCfg.MeasureSkip = true
+
+	exact, exactSeries, exactImg := skipRun(t, "mcf", TCP8K(), base)
+	skip, skipSeries, skipImg := skipRun(t, "mcf", TCP8K(), skipCfg)
+	compareSkipRun(t, "mcf/tcp-8K+fast-warmup", exact, skip, exactSeries, skipSeries, exactImg, skipImg)
+}
+
+// TestMeasuredSkipNonPowerOfTwoFallsBack covers the geometry gate: the
+// masked skip step requires power-of-two RUU/LSQ rings, so a non-power-of-
+// two core must silently fall back to the reference loop — identical
+// results, no panic, no divergence.
+func TestMeasuredSkipNonPowerOfTwoFallsBack(t *testing.T) {
+	base := Config{Instructions: 30_000, Warmup: 60_000, Seed: 1}
+	base.CPU.RUUSize = 96 // not a power of two
+	base.CPU.LSQSize = 48
+	skipCfg := base
+	skipCfg.MeasureSkip = true
+
+	exact := MustRun("mcf", TCP8K(), base)
+	skip := MustRun("mcf", TCP8K(), skipCfg)
+	if exact != skip {
+		t.Errorf("non-pow2 fallback diverged:\nexact %+v\nskip  %+v", exact, skip)
+	}
+}
+
+// TestMeasuredSkipCheckpointMidWindow pins satellite 4: a checkpoint taken
+// at an arbitrary instruction inside a skip-mode measured window restores
+// and continues bit-identically to the unsplit run — and because the skip
+// engine is not checkpoint identity (unlike warmup fidelity), the image
+// crosses modes freely: a skip-mode image continued under the reference
+// engine (and vice versa) finishes with the same Result and final image.
+func TestMeasuredSkipCheckpointMidWindow(t *testing.T) {
+	base := Config{Instructions: 40_000, Warmup: 60_000, Seed: 1}
+	skipCfg := base
+	skipCfg.MeasureSkip = true
+	mid := base.Warmup + 17_000 // arbitrary mid-measured-window position
+
+	finalImage := func(m *Machine) (Result, []byte) {
+		t.Helper()
+		m.RunTo(m.Total())
+		img, err := m.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.finish(), img
+	}
+
+	unsplitRes, unsplitImg := finalImage(mustMachine(t, "mcf", TCP8K(), base))
+
+	// Save mid-measure under skip mode.
+	m := mustMachine(t, "mcf", TCP8K(), skipCfg)
+	m.RunTo(mid)
+	midImg, err := m.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		label string
+		cfg   Config
+	}{
+		{"resume under skip engine", skipCfg},
+		{"resume under reference engine", base},
+	} {
+		m2 := mustMachine(t, "mcf", TCP8K(), tc.cfg)
+		if err := m2.RestoreImage(midImg); err != nil {
+			t.Fatal(err)
+		}
+		res, img := finalImage(m2)
+		if res != unsplitRes {
+			t.Errorf("%s: Result diverged from unsplit reference run:\nresumed %+v\nunsplit %+v",
+				tc.label, res, unsplitRes)
+		}
+		if !bytes.Equal(img, unsplitImg) {
+			t.Errorf("%s: final checkpoint image diverged from unsplit reference run", tc.label)
+		}
+	}
+
+	// And the mid-window image itself must equal the reference engine's
+	// image at the same position: skip mode serialises nothing extra.
+	mRef := mustMachine(t, "mcf", TCP8K(), base)
+	mRef.RunTo(mid)
+	refMidImg, err := mRef.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(midImg, refMidImg) {
+		t.Errorf("mid-window checkpoint differs between engines (%d vs %d bytes)",
+			len(midImg), len(refMidImg))
+	}
+}
+
+// TestMachineNextEvent pins the composed event-horizon query: a freshly
+// built machine has nothing scheduled, and mid-run the machine horizon is
+// exactly the min-positive composition of the core and hierarchy horizons.
+// The horizon may legitimately trail the commit clock — retirement is lazy
+// (completed MSHR fills stay in flight until swept) — so the test pins
+// composition and non-negativity, not monotonicity against the core clock.
+func TestMachineNextEvent(t *testing.T) {
+	cfg := Config{Instructions: 5_000, Warmup: 0, NoWarmup: true, Seed: 1}
+	m := mustMachine(t, "mcf", TCP8K(), cfg)
+	if e := m.NextEvent(); e != 0 {
+		t.Errorf("fresh machine NextEvent = %d, want 0", e)
+	}
+	for _, target := range []uint64{1, 100, 2_500, 5_000} {
+		m.RunTo(target)
+		core, mem := m.core.NextEvent(), m.mem.NextEvent()
+		want := core
+		if mem != 0 && (want == 0 || mem < want) {
+			want = mem
+		}
+		if e := m.NextEvent(); e != want || e < 0 {
+			t.Errorf("at instruction %d: NextEvent = %d, want min-positive(core=%d, mem=%d) = %d",
+				target, e, core, mem, want)
+		}
+	}
+}
+
+// FuzzMeasuredSkipEquivalence fuzzes the strict contract over short random
+// workload streams and config geometry: any counter or checkpoint-byte
+// divergence between the reference and skip engines is a crash. Wired into
+// CI's fuzz-smoke step.
+func FuzzMeasuredSkipEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0), uint8(7), uint8(7), uint8(64), uint16(4000), uint16(6000))
+	f.Add(uint64(7), uint8(1), uint8(4), uint8(5), uint8(6), uint8(3), uint16(2000), uint16(0))
+	f.Add(uint64(42), uint8(2), uint8(7), uint8(9), uint8(5), uint8(1), uint16(1000), uint16(500))
+	f.Fuzz(func(t *testing.T, seed uint64, benchPick, cfgPick, ruuExp, lsqExp, mshrs uint8, n, w uint16) {
+		benches := []string{"swim", "mcf", "equake"}
+		cases := fastEquivCases()
+		bench := benches[int(benchPick)%len(benches)]
+		factory := cases[int(cfgPick)%len(cases)].f
+
+		cfg := Config{
+			Instructions: 500 + uint64(n)%8_000,
+			Warmup:       uint64(w) % 8_000,
+			Seed:         seed,
+		}
+		if cfg.Warmup == 0 {
+			cfg.NoWarmup = true
+		}
+		// Ring geometry from 8 to 1024 entries; odd exponents are bent to
+		// non-powers-of-two to exercise the reference fallback too.
+		cfg.CPU.RUUSize = 8 << (int(ruuExp) % 6)
+		if ruuExp%2 == 1 {
+			cfg.CPU.RUUSize -= 3
+		}
+		cfg.CPU.LSQSize = 8 << (int(lsqExp) % 6)
+		cfg.Mem.MSHRs = 1 + int(mshrs)%96
+
+		spec, err := workload.Spec2000(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(skip bool) (Result, []byte) {
+			c := cfg
+			c.MeasureSkip = skip
+			m, err := NewMachine(spec, factory, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.RunTo(m.Total())
+			img, err := m.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m.finish(), img
+		}
+		exact, exactImg := run(false)
+		skip, skipImg := run(true)
+		if exact != skip {
+			t.Fatalf("skip engine diverged:\nexact %+v\nskip  %+v", exact, skip)
+		}
+		if !bytes.Equal(exactImg, skipImg) {
+			t.Fatalf("final checkpoint images differ (%d vs %d bytes)", len(exactImg), len(skipImg))
+		}
+	})
+}
+
+// mcfLikeSpec is the benchmark workload for the skip engine: a low-IPC,
+// miss-dominated pointer-and-column stream in the mcf mould. The column
+// walks span more rows than the model's L2 can hold per set, so the L1
+// miss stream largely falls through to DRAM; with lazy MSHR retirement the
+// file fills with completed entries between stall sweeps, and per-miss
+// bookkeeping — the MSHR index, ready ordering, unit booking, ring
+// arithmetic — dominates wall-clock, as in the paper's mcf runs.
+// benchMSHRs sizes the MSHR file for the speedup benchmark: a large file
+// stresses the per-miss index and ready-ordering costs the skip engine
+// removes (the reference heap pays O(log n) per allocation, the skip
+// engine's unsorted bag O(1)), which is exactly the bookkeeping regime the
+// measured-window speedup is about. Correctness is engine-independent —
+// the equivalence suite covers capacities from 1 up via the fuzzer.
+const benchMSHRs = 2048
+
+func mcfLikeSpec() workload.Spec {
+	return workload.Spec{
+		Name:                 "mcf-like-lowipc",
+		BodyLen:              65,
+		MemFrac:              0.62,
+		StoreFrac:            0.25,
+		BranchFrac:           0.12,
+		FPFrac:               0.05,
+		MultFrac:             0.05,
+		DepProb:              0.5,
+		LoadUseProb:          0.4,
+		BranchPredictability: 0.85,
+		Streams: []workload.StreamSpec{
+			{Kind: workload.ColumnKind, Weight: 4, Footprint: 384 << 10},
+			{Kind: workload.ChaseKind, Weight: 2, Footprint: 256 << 10},
+			{Kind: workload.HotKind, Weight: 1, Footprint: 8 << 10},
+		},
+	}
+}
+
+// TestMeasuredSkipIsFaster is the wall-clock half of the contract on the
+// benchmark workload: the skip engine must not be slower than the
+// reference loop. The margin is deliberately just "not slower" so the test
+// stays robust on loaded CI machines; BenchmarkMeasuredSkip quantifies the
+// real speedup (docs/FASTFORWARD.md records it).
+func TestMeasuredSkipIsFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	base := Config{Instructions: 1_500_000, NoWarmup: true, Seed: 1}
+	base.Mem.MSHRs = benchMSHRs
+	skipCfg := base
+	skipCfg.MeasureSkip = true
+	spec := mcfLikeSpec()
+
+	// Interleave to even out machine load; keep the best of 2 per engine.
+	exactDur, skipDur := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < 2; i++ {
+		start := time.Now()
+		RunSpec(spec, NoPrefetch(), base)
+		if d := time.Since(start); d < exactDur {
+			exactDur = d
+		}
+		start = time.Now()
+		RunSpec(spec, NoPrefetch(), skipCfg)
+		if d := time.Since(start); d < skipDur {
+			skipDur = d
+		}
+	}
+	if skipDur > exactDur {
+		t.Errorf("skip engine (%v) slower than reference (%v)", skipDur, exactDur)
+	}
+}
+
+// BenchmarkMeasuredSkip quantifies the skip engine on the mcf-like low-IPC
+// stream (satellite 5); docs/FASTFORWARD.md records the measured speedup.
+func BenchmarkMeasuredSkip(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		skip bool
+	}{
+		{"reference", false},
+		{"skip", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := Config{Instructions: 1_000_000, NoWarmup: true, Seed: 1, MeasureSkip: tc.skip}
+			cfg.Mem.MSHRs = benchMSHRs
+			spec := mcfLikeSpec()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				RunSpec(spec, NoPrefetch(), cfg)
+			}
+		})
+	}
+}

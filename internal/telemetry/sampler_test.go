@@ -118,3 +118,57 @@ func TestSamplerOnSampleCallback(t *testing.T) {
 		t.Errorf("callback got (%d, %d)", gotCycle, gotInstr)
 	}
 }
+
+// TestSamplerClockJump pins the due/rebase semantics under discontinuous
+// commit clocks, which the measured-phase skip engine and long-latency
+// stalls both produce: when the clock lands past one or more due
+// boundaries, exactly ONE sample is taken at the landing cycle and the
+// grid rebases there (next due = landing + every). Sample timing is thus a
+// function of the observed commit-cycle sequence alone — two engines that
+// agree on commit cycles agree on every sample, no matter how either
+// advances its clock in between.
+func TestSamplerClockJump(t *testing.T) {
+	cases := []struct {
+		name    string
+		every   int64
+		commits []int64 // observed commit cycles, in order
+		want    []int64 // cycles at which samples must land
+	}{
+		{"regular grid", 100,
+			[]int64{50, 100, 150, 200, 300}, []int64{100, 200, 300}},
+		{"jump past three boundaries samples once", 100,
+			[]int64{100, 450, 460}, []int64{100, 450}},
+		{"rebase after jump, old grid is dead", 100,
+			// After sampling at 450 the next due is 550, not 500.
+			[]int64{100, 450, 500, 549, 550}, []int64{100, 450, 550}},
+		{"overshoot by one rebases off-grid", 100,
+			[]int64{101, 200, 201, 301}, []int64{101, 201, 301}},
+		{"huge jump still one sample", 100,
+			[]int64{1 << 40}, []int64{1 << 40}},
+		{"stall spanning many windows", 7,
+			[]int64{6, 7, 8, 70, 76, 77}, []int64{7, 70, 77}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSampler(tc.every, 0)
+			var got []int64
+			for _, c := range tc.commits {
+				if s.Due(c) {
+					s.Sample(c, uint64(c))
+					got = append(got, c)
+				}
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("sampled at %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("sampled at %v, want %v", got, tc.want)
+				}
+			}
+			if s.NumSamples() != len(tc.want) {
+				t.Errorf("NumSamples = %d, want %d", s.NumSamples(), len(tc.want))
+			}
+		})
+	}
+}
